@@ -1,0 +1,111 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The flagship trace reproduces the paper's evaluation setting at ~1/100
+scale: 8 simulated days starting Sunday 2006-10-01 00:00, double-peak
+diurnal load, slight weekend boost, and the mid-autumn-festival flash
+crowd on day 5 (Friday Oct 6) at 9 p.m.  It is simulated once and
+cached under ``benchmarks/.cache/`` keyed by its parameters; delete the
+directory to force a re-run.
+
+Scale knobs (environment):
+  REPRO_BENCH_DAYS  simulated days  (default 8; paper used 14)
+  REPRO_BENCH_BASE  base concurrency (default 1000; paper saw ~100k)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import run_simulation_to_trace
+from repro.network import build_default_database
+from repro.simulator.protocol import SelectionPolicy
+from repro.traces import TraceReader
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "8"))
+BENCH_BASE = float(os.environ.get("REPRO_BENCH_BASE", "1000"))
+BENCH_SEED = 2006
+
+DAY = 86_400.0
+HOUR = 3_600.0
+#: centre of the flash-crowd hold phase (FlashCrowdEvent defaults)
+FLASH_PEAK = 5 * DAY + 20.5 * HOUR + 1_800 + 3_600
+
+
+def _cached_trace(name: str, **kwargs) -> TraceReader:
+    import dataclasses
+    import hashlib
+
+    CACHE_DIR.mkdir(exist_ok=True)
+    # hash only values with stable reprs; anything else (e.g. a channel
+    # catalogue) must be reflected in ``name`` by the caller
+    stable = [
+        (k, repr(v))
+        for k, v in sorted(kwargs.items())
+        if isinstance(v, (int, float, str, bool, type(None)))
+        or dataclasses.is_dataclass(v)
+        or hasattr(v, "value")  # enums
+    ]
+    key = hashlib.sha256(repr(stable).encode()).hexdigest()[:16]
+    path = CACHE_DIR / f"{name}-{key}.jsonl.gz"
+    if not path.exists():
+        # staging name keeps the .jsonl.gz suffix so compression is inferred
+        tmp = path.with_name("tmp-" + path.name)
+        run_simulation_to_trace(tmp, **kwargs)
+        tmp.rename(path)
+    return TraceReader(path)
+
+
+@pytest.fixture(scope="session")
+def flagship_trace() -> TraceReader:
+    """The paper's two selected weeks, scaled (see module docstring)."""
+    return _cached_trace(
+        "flagship",
+        days=BENCH_DAYS,
+        base_concurrency=BENCH_BASE,
+        seed=BENCH_SEED,
+        with_flash_crowd=True,
+    )
+
+
+def _ablation_trace(policy: SelectionPolicy) -> TraceReader:
+    return _cached_trace(
+        f"ablation-{policy.value}",
+        days=1.5,
+        base_concurrency=400,
+        seed=77,
+        with_flash_crowd=False,
+        policy=policy,
+    )
+
+
+@pytest.fixture(scope="session")
+def uusee_trace() -> TraceReader:
+    return _ablation_trace(SelectionPolicy.UUSEE)
+
+
+@pytest.fixture(scope="session")
+def random_trace() -> TraceReader:
+    return _ablation_trace(SelectionPolicy.RANDOM)
+
+
+@pytest.fixture(scope="session")
+def tree_trace() -> TraceReader:
+    return _ablation_trace(SelectionPolicy.TREE)
+
+
+@pytest.fixture(scope="session")
+def isp_db():
+    return build_default_database()
+
+
+def show(title: str, headers, rows) -> None:
+    """Print a paper-vs-measured comparison table into the bench log."""
+    from repro.core.report import format_table
+
+    print()
+    print(format_table(headers, rows, title=f"== {title} =="))

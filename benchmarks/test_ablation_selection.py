@@ -1,0 +1,36 @@
+"""Ablation — quality-biased selection vs ISP/quality-blind selection.
+
+DESIGN.md Sec. 4: the paper attributes ISP clustering (Figs. 6, 7B)
+entirely to quality-biased peer selection over an Internet where
+intra-ISP links are faster.  Replacing UUSee's selection with uniform
+random choice must therefore collapse the intra-ISP degree fractions
+toward the ISP-blind baseline.
+"""
+
+from benchmarks.conftest import show
+from repro.core.experiments import fig6_intra_isp_degrees
+
+
+def test_random_selection_destroys_isp_clustering(
+    benchmark, uusee_trace, random_trace, isp_db
+):
+    uusee = benchmark.pedantic(
+        lambda: fig6_intra_isp_degrees(uusee_trace, isp_db), rounds=1, iterations=1
+    )
+    blind = fig6_intra_isp_degrees(random_trace, isp_db)
+    u_in, u_out = uusee.mean_fractions()
+    b_in, b_out = blind.mean_fractions()
+    show(
+        "Ablation: selection policy vs ISP clustering",
+        ["policy", "intra-ISP indegree", "intra-ISP outdegree", "blind baseline"],
+        [
+            ["uusee", u_in, u_out, uusee.random_baseline],
+            ["random", b_in, b_out, blind.random_baseline],
+        ],
+    )
+    # UUSee selection clusters well above the baseline ...
+    assert u_in > uusee.random_baseline + 0.06
+    # ... random selection sits near it ...
+    assert abs(b_in - blind.random_baseline) < 0.06
+    # ... and the gap between the policies is the clustering effect
+    assert u_in > b_in + 0.05

@@ -1,0 +1,59 @@
+"""Performance benchmark of the simulator itself.
+
+Not a paper figure: this measures how fast the substrate advances
+simulated time, the quantity that bounds every experiment's wall-clock
+cost.  Reported as rounds (of 600 simulated seconds at ~300 concurrent
+peers) per benchmark iteration.
+"""
+
+from repro.simulator import SystemConfig, UUSeeSystem
+from repro.traces import InMemoryTraceStore
+
+
+def _build_warm_system() -> UUSeeSystem:
+    config = SystemConfig(seed=99, base_concurrency=300.0, flash_crowd=None)
+    system = UUSeeSystem(config, InMemoryTraceStore())
+    system.run(seconds=2 * 3600)  # warm up membership
+    return system
+
+
+def test_simulation_round_throughput(benchmark):
+    system = _build_warm_system()
+
+    def advance_ten_rounds():
+        system.run(seconds=10 * 600)
+        return system.concurrent_peers()
+
+    peers = benchmark.pedantic(advance_ten_rounds, rounds=3, iterations=1)
+    assert peers > 100  # the system is alive and populated
+
+
+def test_snapshot_analytics_throughput(benchmark):
+    """Time the per-window analytics (snapshot + all Sec. 4 metrics)."""
+    from repro.core import build_snapshot
+    from repro.core.metrics import (
+        average_degrees,
+        intra_isp_degree_fractions,
+        reciprocity_metrics,
+        small_world,
+    )
+    from repro.network import build_default_database
+
+    system = _build_warm_system()
+    store = system.trace_server.store
+    recent = [r for r in store.reports if r.time > system.engine.now - 600]
+    db = build_default_database()
+
+    def analyze():
+        snap = build_snapshot(recent, time=0.0, window_seconds=600.0)
+        return (
+            average_degrees(snap),
+            intra_isp_degree_fractions(snap, db),
+            reciprocity_metrics(snap, db),
+            small_world(snap, db=db, seed=1),
+        )
+
+    degrees, intra, rho, sw = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    assert degrees.mean_indegree > 0
+    assert rho.all_links > 0
+    assert sw.num_nodes > 20

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ISP clustering ablation (paper Secs. 4.2.3, 4.3).
+
+The paper argues ISP clusters form *naturally* because intra-ISP
+connections have higher throughput and lower delay, so quality-biased
+peer selection prefers them — the protocol never looks at ISP
+membership.  This study re-runs the same workload with the UUSEE
+policy and with ISP/quality-blind RANDOM selection: the intra-ISP
+degree fractions collapse to the random baseline, and per-ISP subgraph
+clustering weakens.
+
+Run:  python examples/isp_clustering_study.py   (about two minutes)
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.experiments import (
+    fig6_intra_isp_degrees,
+    fig7_small_world,
+    run_simulation_to_trace,
+)
+from repro.core.report import format_table
+from repro.simulator.protocol import SelectionPolicy
+from repro.traces import TraceReader
+
+
+def run_policy(policy: SelectionPolicy, tmp: Path):
+    path = tmp / f"{policy.value}.jsonl.gz"
+    run_simulation_to_trace(
+        path,
+        days=1.5,
+        base_concurrency=450,
+        seed=13,
+        with_flash_crowd=False,
+        policy=policy,
+    )
+    return TraceReader(path)
+
+
+def main() -> None:
+    tmp = Path(tempfile.mkdtemp())
+    rows = []
+    for policy in (SelectionPolicy.UUSEE, SelectionPolicy.RANDOM):
+        print(f"Simulating with {policy.value} selection ...")
+        trace = run_policy(policy, tmp)
+        fig6 = fig6_intra_isp_degrees(trace)
+        frac_in, frac_out = fig6.mean_fractions()
+        fig7_global = fig7_small_world(trace)
+        fig7_netcom = fig7_small_world(trace, isp="China Netcom")
+        netcom_c = [m.clustering for m in fig7_netcom.metrics()]
+        rows.append(
+            [
+                policy.value,
+                frac_in,
+                frac_out,
+                fig6.random_baseline,
+                fig7_global.mean_clustering_ratio(),
+                sum(netcom_c) / len(netcom_c) if netcom_c else 0.0,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "intra-ISP in",
+                "intra-ISP out",
+                "blind baseline",
+                "C/C_rand global",
+                "C (Netcom subgraph)",
+            ],
+            rows,
+            title=(
+                "ISP clustering: UUSee's quality-biased selection vs random "
+                "(paper: ~0.4 vs ISP-blind baseline)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Infrastructure-outage resilience (extension experiment).
+
+The paper shows the UUSee mesh absorbs user-side stress (flash crowds);
+this study injects *infrastructure* failures instead: a one-hour
+tracker outage (no bootstrap, no volunteering, no last-resort refresh)
+and a half-hour streaming-server outage (no origin supply).  The mesh's
+reciprocal exchange keeps established peers streaming through both, and
+quality recovers once the component returns.
+
+Run:  python examples/outage_resilience_study.py   (about two minutes)
+"""
+
+from repro.core.report import format_table
+from repro.simulator import Outage, OutageSchedule, SystemConfig, UUSeeSystem
+from repro.traces import InMemoryTraceStore
+
+HOUR = 3_600.0
+
+
+def run(outages: OutageSchedule) -> UUSeeSystem:
+    config = SystemConfig(
+        seed=9, base_concurrency=300.0, flash_crowd=None, outages=outages
+    )
+    system = UUSeeSystem(config, InMemoryTraceStore())
+    system.run(seconds=9 * HOUR)
+    return system
+
+
+def quality_series(system: UUSeeSystem, hours: list[float]) -> list[float]:
+    out = []
+    for h in hours:
+        stats = min(system.round_stats, key=lambda s: abs(s.time - h * HOUR))
+        out.append(stats.satisfied_fraction())
+    return out
+
+
+def main() -> None:
+    checkpoints = [3.5, 4.5, 5.2, 6.5, 8.5]
+    scenarios = {
+        "no failure": OutageSchedule(),
+        "tracker down 4h-5h": OutageSchedule(
+            tracker_outages=[Outage(4 * HOUR, 5 * HOUR)]
+        ),
+        "servers down 4h-4.5h": OutageSchedule(
+            server_outages=[Outage(4 * HOUR, 4.5 * HOUR)]
+        ),
+    }
+    rows = []
+    for name, schedule in scenarios.items():
+        print(f"Simulating: {name} ...")
+        system = run(schedule)
+        rows.append([name] + quality_series(system, checkpoints))
+    print()
+    print(
+        format_table(
+            ["scenario"] + [f"t={h}h" for h in checkpoints],
+            rows,
+            title=(
+                "Satisfied fraction (all viewers) around the failure window "
+                "(failures at 4h; outage effects visible at 4.5-5.2h, recovery after)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

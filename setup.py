@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` cannot build the editable wheel modern pip wants.
+``python setup.py develop`` installs the same editable package via the
+setuptools-native path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Magellan (ICDCS 2007) reproduction: UUSee P2P live-streaming
+topology measurement, rebuilt end to end.
+
+Subpackages: :mod:`repro.graph` (graph substrate), :mod:`repro.network`
+(synthetic Internet), :mod:`repro.workloads` (load models),
+:mod:`repro.simulator` (the UUSee system), :mod:`repro.traces`
+(measurement methodology), :mod:`repro.core` (the paper's analytics),
+plus :mod:`repro.stats` and the :mod:`repro.cli` command line.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,22 @@
+"""Comparison baselines from the P2P topology literature.
+
+The paper frames every finding against prior file-sharing topology
+studies: early Gnutella's power-law degree distributions and strong
+small-world clustering [2, 12, 15], and modern two-tier Gnutella's
+spiked (non-power-law) degree distribution reported by Stutzbach et
+al. [17].  This subpackage generates synthetic snapshots of both
+generations so the comparisons in Sec. 4.2/4.3 can be made
+quantitatively against the simulated UUSee topologies.
+"""
+
+from repro.baselines.gnutella import (
+    GnutellaConfig,
+    legacy_gnutella_snapshot,
+    modern_gnutella_snapshot,
+)
+
+__all__ = [
+    "GnutellaConfig",
+    "legacy_gnutella_snapshot",
+    "modern_gnutella_snapshot",
+]

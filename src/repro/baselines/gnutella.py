@@ -1,0 +1,110 @@
+"""Synthetic Gnutella overlay snapshots (the paper's comparison points).
+
+Two generations are modelled:
+
+- **legacy Gnutella** (flat, early-2000s): preferential attachment
+  produces the power-law degree distribution reported by Ripeanu et
+  al. and Jovanovic et al. — the distribution the paper shows UUSee
+  does *not* have;
+- **modern Gnutella** (two-tier, as crawled by Stutzbach et al. with
+  Cruiser): ultrapeers hold ~30 ultrapeer neighbours (a spike, since
+  the client tops up to a target) plus leaves; leaves attach to ~3
+  ultrapeers.  Its ultrapeer degree distribution has 'a spike around
+  30' and the network is a weaker small world than legacy Gnutella.
+
+Both generators are seeded and return :class:`repro.graph.Graph`
+objects, so every metric in :mod:`repro.graph` applies directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import Graph
+
+
+@dataclass(frozen=True)
+class GnutellaConfig:
+    """Size/shape parameters for the synthetic snapshots."""
+
+    num_peers: int = 2_000
+    # legacy (flat) generation
+    legacy_links_per_join: int = 3
+    # modern (two-tier) generation
+    ultrapeer_fraction: float = 0.16
+    ultrapeer_target_degree: int = 30
+    leaf_parents: int = 3
+    seed: int = 0
+
+
+def legacy_gnutella_snapshot(config: GnutellaConfig | None = None) -> Graph:
+    """Flat Gnutella via preferential attachment (power-law degrees).
+
+    Barabasi-Albert style: each joining peer links to ``m`` existing
+    peers chosen proportionally to their current degree.
+    """
+    cfg = config or GnutellaConfig()
+    rng = random.Random(cfg.seed)
+    m = cfg.legacy_links_per_join
+    graph = Graph()
+    # seed clique of m+1 peers
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(i, j)
+    # repeated-endpoint list implements preferential attachment in O(1)
+    endpoints: list[int] = []
+    for u, v in graph.edges():
+        endpoints.extend((u, v))
+    for new in range(m + 1, cfg.num_peers):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(endpoints[rng.randrange(len(endpoints))])
+        for target in chosen:
+            graph.add_edge(new, target)
+            endpoints.extend((new, target))
+    return graph
+
+
+def modern_gnutella_snapshot(config: GnutellaConfig | None = None) -> Graph:
+    """Two-tier Gnutella: ultrapeer mesh with a ~30-neighbour spike.
+
+    Ultrapeers top up to ``ultrapeer_target_degree`` ultrapeer
+    neighbours (with some randomness in how full they get, as in
+    crawled snapshots); each leaf attaches to ``leaf_parents``
+    ultrapeers chosen uniformly.
+    """
+    cfg = config or GnutellaConfig()
+    rng = random.Random(cfg.seed + 1)
+    num_ultra = max(cfg.leaf_parents + 1, int(cfg.num_peers * cfg.ultrapeer_fraction))
+    ultrapeers = list(range(num_ultra))
+    graph = Graph()
+    for u in ultrapeers:
+        graph.add_node(u)
+    # each ultrapeer opens connections until near the target degree;
+    # later peers find earlier ones already full, producing the
+    # sub-spike shoulder crawls observe
+    for u in ultrapeers:
+        want = cfg.ultrapeer_target_degree - int(rng.random() * 4)
+        attempts = 0
+        while graph.degree(u) < want and attempts < 20 * want:
+            attempts += 1
+            v = ultrapeers[rng.randrange(num_ultra)]
+            if v == u or graph.has_edge(u, v):
+                continue
+            if graph.degree(v) >= cfg.ultrapeer_target_degree + 4:
+                continue
+            graph.add_edge(u, v)
+    # leaves
+    for leaf in range(num_ultra, cfg.num_peers):
+        parents = rng.sample(ultrapeers, cfg.leaf_parents)
+        for p in parents:
+            graph.add_edge(leaf, p)
+    return graph
+
+
+def ultrapeer_ids(config: GnutellaConfig | None = None) -> range:
+    """The vertex ids that are ultrapeers in the modern snapshot."""
+    cfg = config or GnutellaConfig()
+    num_ultra = max(cfg.leaf_parents + 1, int(cfg.num_peers * cfg.ultrapeer_fraction))
+    return range(num_ultra)

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the whole pipeline:
+
+- ``simulate`` — run a UUSee deployment and write its Magellan trace;
+- ``analyze``  — regenerate any paper figure (or all) from a trace,
+  printing the series and optionally exporting CSV;
+- ``info``     — summarise a trace (span, peers, reports, dynamics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import experiments as ex
+from repro.core.dynamics import (
+    partner_stability,
+    population_turnover,
+    session_statistics,
+)
+from repro.core.report import format_series, format_table, write_csv
+from repro.network.isp import build_default_database
+from repro.simulator.protocol import SelectionPolicy
+from repro.traces.store import TraceReader
+
+FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Magellan (ICDCS 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a deployment to a trace file")
+    sim.add_argument("--out", type=Path, required=True, help="trace path (.jsonl[.gz])")
+    sim.add_argument("--days", type=float, default=2.0)
+    sim.add_argument("--base", type=float, default=500.0, help="base concurrency")
+    sim.add_argument("--seed", type=int, default=2006)
+    sim.add_argument(
+        "--policy",
+        choices=[p.value for p in SelectionPolicy],
+        default=SelectionPolicy.UUSEE.value,
+    )
+    sim.add_argument(
+        "--no-flash-crowd",
+        action="store_true",
+        help="disable the day-5 flash crowd event",
+    )
+
+    ana = sub.add_parser("analyze", help="regenerate paper figures from a trace")
+    ana.add_argument("--trace", type=Path, required=True)
+    ana.add_argument(
+        "--figure",
+        choices=FIGURES + ("all",),
+        default="all",
+        help="which figure to regenerate",
+    )
+    ana.add_argument("--csv-dir", type=Path, help="also export series as CSV")
+
+    info = sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("--trace", type=Path, required=True)
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    print(
+        f"simulating {args.days} days at base concurrency {args.base:.0f} "
+        f"(seed {args.seed}, policy {args.policy}) ..."
+    )
+    ex.run_simulation_to_trace(
+        args.out,
+        days=args.days,
+        base_concurrency=args.base,
+        seed=args.seed,
+        with_flash_crowd=not args.no_flash_crowd,
+        policy=SelectionPolicy(args.policy),
+    )
+    print(f"trace written to {args.out}")
+    return 0
+
+
+def _analyze_fig1(trace, csv_dir):
+    result = ex.fig1_scale(trace)
+    print(format_series(result.series, ["total", "stable"], title="Fig. 1(A) simultaneous peers"))
+    print()
+    print(format_table(["day", "total IPs", "stable IPs"], result.daily, title="Fig. 1(B) daily distinct IPs"))
+    print(f"\nstable/total ratio: {result.stable_ratio():.3f} (paper: ~1/3)")
+    if csv_dir:
+        rows = zip(result.series.times, result.series.column("total"), result.series.column("stable"))
+        write_csv(csv_dir / "fig1a.csv", ["t", "total", "stable"], rows)
+        write_csv(csv_dir / "fig1b.csv", ["day", "total", "stable"], result.daily)
+
+
+def _analyze_fig2(trace, csv_dir):
+    shares = ex.fig2_isp_shares(trace)
+    rows = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
+    print(format_table(["ISP", "share"], rows, title="Fig. 2 ISP shares"))
+    if csv_dir:
+        write_csv(csv_dir / "fig2.csv", ["isp", "share"], rows)
+
+
+def _analyze_fig3(trace, csv_dir):
+    result = ex.fig3_streaming_quality(trace)
+    print(format_series(result.series, list(result.channels), title="Fig. 3 streaming quality"))
+    for name in result.channels:
+        print(f"mean {name}: {result.mean_quality(name):.3f} (paper: ~0.75)")
+    if csv_dir:
+        cols = list(result.channels)
+        rows = [
+            [t] + [row.get(c) for c in cols] for t, row in result.series.rows()
+        ]
+        write_csv(csv_dir / "fig3.csv", ["t"] + cols, rows)
+
+
+def _analyze_fig4(trace, csv_dir):
+    result = ex.fig4_degree_distributions(trace)
+    for label, kinds in result.distributions.items():
+        rows = [
+            [kind, dist.mode(), round(dist.mean(), 1), dist.max_degree()]
+            for kind, dist in kinds.items()
+        ]
+        print(format_table(["kind", "mode", "mean", "max"], rows, title=f"Fig. 4 degrees @ {label}"))
+        print()
+        if csv_dir:
+            for kind, dist in kinds.items():
+                tag = label.replace(" ", "_")
+                write_csv(
+                    csv_dir / f"fig4_{tag}_{kind}.csv",
+                    ["degree", "fraction"],
+                    dist.pmf(),
+                )
+
+
+def _analyze_fig5(trace, csv_dir):
+    result = ex.fig5_degree_evolution(trace)
+    rows = [
+        [t / 3600.0, d.mean_partners, d.mean_indegree, d.mean_outdegree]
+        for t, d in zip(result.series.times, result.series.column("degrees"))
+    ]
+    print(format_table(["t_hours", "partners", "indegree", "outdegree"], rows, title="Fig. 5 average degrees"))
+    if csv_dir:
+        write_csv(csv_dir / "fig5.csv", ["t_hours", "partners", "in", "out"], rows)
+
+
+def _analyze_fig6(trace, csv_dir):
+    result = ex.fig6_intra_isp_degrees(trace)
+    rows = [
+        [t / 3600.0, v.indegree_fraction, v.outdegree_fraction]
+        for t, v in zip(result.series.times, result.series.column("intra"))
+    ]
+    print(format_table(["t_hours", "intra in", "intra out"], rows, title="Fig. 6 intra-ISP degree fractions"))
+    print(f"ISP-blind baseline: {result.random_baseline:.3f}")
+    if csv_dir:
+        write_csv(csv_dir / "fig6.csv", ["t_hours", "in", "out"], rows)
+
+
+def _analyze_fig7(trace, csv_dir):
+    for isp in (None, "China Netcom"):
+        result = ex.fig7_small_world(trace, isp=isp)
+        tag = isp or "global"
+        rows = [
+            [t / 3600.0, m.clustering, m.random_clustering, m.path_length, m.random_path_length]
+            for t, m in zip(result.series.times, result.series.column("sw"))
+        ]
+        print(format_table(
+            ["t_hours", "C", "C_rand", "L", "L_rand"], rows,
+            title=f"Fig. 7 small world ({tag})",
+        ))
+        print()
+        if csv_dir:
+            write_csv(
+                csv_dir / f"fig7_{tag.replace(' ', '_')}.csv",
+                ["t_hours", "C", "C_rand", "L", "L_rand"],
+                rows,
+            )
+
+
+def _analyze_fig8(trace, csv_dir):
+    result = ex.fig8_reciprocity(trace)
+    rows = [
+        [t / 3600.0, m.all_links, m.intra_isp, m.inter_isp]
+        for t, m in zip(result.series.times, result.series.column("rho"))
+    ]
+    print(format_table(["t_hours", "rho all", "rho intra", "rho inter"], rows, title="Fig. 8 edge reciprocity"))
+    if csv_dir:
+        write_csv(csv_dir / "fig8.csv", ["t_hours", "all", "intra", "inter"], rows)
+
+
+_ANALYZERS = {
+    "fig1": _analyze_fig1,
+    "fig2": _analyze_fig2,
+    "fig3": _analyze_fig3,
+    "fig4": _analyze_fig4,
+    "fig5": _analyze_fig5,
+    "fig6": _analyze_fig6,
+    "fig7": _analyze_fig7,
+    "fig8": _analyze_fig8,
+}
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if not args.trace.exists():
+        print(f"error: no such trace: {args.trace}", file=sys.stderr)
+        return 2
+    if args.csv_dir:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+    trace = TraceReader(args.trace)
+    figures = FIGURES if args.figure == "all" else (args.figure,)
+    for fig in figures:
+        try:
+            _ANALYZERS[fig](trace, args.csv_dir)
+        except ValueError as exc:
+            print(f"{fig}: skipped ({exc})")
+        print()
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    if not args.trace.exists():
+        print(f"error: no such trace: {args.trace}", file=sys.stderr)
+        return 2
+    trace = TraceReader(args.trace)
+    count = 0
+    first = last = None
+    ips = set()
+    channels = set()
+    for report in trace:
+        count += 1
+        first = report.time if first is None else first
+        last = report.time
+        ips.add(report.peer_ip)
+        channels.add(report.channel_id)
+    if count == 0:
+        print("empty trace")
+        return 0
+    sessions = session_statistics(trace)
+    turnover = population_turnover(trace)
+    stability = partner_stability(trace)
+    span_days = (last - first) / 86_400.0
+    mean_turnover = (
+        sum(p.turnover_rate for p in turnover) / len(turnover) if turnover else 0.0
+    )
+    rows = [
+        ["reports", count],
+        ["reporting peers (stable IPs)", len(ips)],
+        ["channels", len(channels)],
+        ["span (days)", round(span_days, 2)],
+        ["mean reporting span (min)", round(sessions.mean_span_s / 60.0, 1)],
+        ["mean reports per peer", round(sessions.mean_reports_per_peer, 1)],
+        ["mean window turnover rate", round(mean_turnover, 3)],
+        ["mean partner-list jaccard", round(stability.mean_jaccard, 3)],
+    ]
+    print(format_table(["property", "value"], rows, title=f"trace {args.trace}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
+    if args.command == "info":
+        return cmd_info(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Churn and topology dynamics from traces.
+
+The paper emphasises the *evolutionary* nature of the streaming
+topology but only plots metric time series; these analytics quantify
+the underlying dynamics directly from the same reports, the way later
+measurement studies (e.g. Stutzbach et al.'s churn work) do:
+
+- observed stable-peer session lengths (first report .. last report);
+- stable-population turnover between observation windows;
+- partner-list stability between a peer's consecutive reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.traces.records import PeerReport
+from repro.traces.store import iter_windows
+
+
+@dataclass(frozen=True)
+class SessionStatistics:
+    """Observed reporting spans of stable peers."""
+
+    num_peers: int
+    mean_span_s: float  # mean(first report .. last report)
+    median_span_s: float
+    mean_reports_per_peer: float
+
+    @property
+    def mean_session_estimate_s(self) -> float:
+        """Span plus the ~20 min unobserved pre-report lifetime."""
+        return self.mean_span_s + 1_200.0
+
+
+def session_statistics(reports: Iterable[PeerReport]) -> SessionStatistics:
+    """Summarise per-peer reporting spans over a whole trace."""
+    first: dict[int, float] = {}
+    last: dict[int, float] = {}
+    count: dict[int, int] = {}
+    for report in reports:
+        ip = report.peer_ip
+        if ip not in first:
+            first[ip] = report.time
+        last[ip] = max(last.get(ip, report.time), report.time)
+        count[ip] = count.get(ip, 0) + 1
+    if not first:
+        return SessionStatistics(0, 0.0, 0.0, 0.0)
+    spans = sorted(last[ip] - first[ip] for ip in first)
+    n = len(spans)
+    return SessionStatistics(
+        num_peers=n,
+        mean_span_s=sum(spans) / n,
+        median_span_s=spans[n // 2],
+        mean_reports_per_peer=sum(count.values()) / n,
+    )
+
+
+@dataclass(frozen=True)
+class TurnoverPoint:
+    """Stable-population change between two consecutive windows."""
+
+    time: float
+    present: int  # reporters in this window
+    arrived: int  # reporters not present in the previous window
+    departed: int  # previous reporters absent from this window
+
+    @property
+    def turnover_rate(self) -> float:
+        """(arrivals + departures) / present."""
+        return (self.arrived + self.departed) / self.present if self.present else 0.0
+
+
+def population_turnover(
+    reports: Iterable[PeerReport], *, window_seconds: float = 600.0
+) -> list[TurnoverPoint]:
+    """Stable-peer arrivals/departures per observation window."""
+    points: list[TurnoverPoint] = []
+    previous: set[int] = set()
+    for window_start, window_reports in iter_windows(reports, window_seconds):
+        current = {r.peer_ip for r in window_reports}
+        points.append(
+            TurnoverPoint(
+                time=window_start,
+                present=len(current),
+                arrived=len(current - previous),
+                departed=len(previous - current),
+            )
+        )
+        previous = current
+    return points
+
+
+@dataclass(frozen=True)
+class PartnerStability:
+    """How much partner lists persist between consecutive reports."""
+
+    num_transitions: int
+    mean_jaccard: float  # |A and B| / |A or B| over consecutive reports
+    mean_kept_fraction: float  # |A and B| / |A|
+
+
+def partner_stability(reports: Iterable[PeerReport]) -> PartnerStability:
+    """Partner-set similarity between each peer's consecutive reports."""
+    last_partners: dict[int, set[int]] = {}
+    jaccards: list[float] = []
+    kept: list[float] = []
+    for report in reports:
+        current = {p.ip for p in report.partners}
+        previous = last_partners.get(report.peer_ip)
+        if previous is not None and (previous or current):
+            union = previous | current
+            inter = previous & current
+            if union:
+                jaccards.append(len(inter) / len(union))
+            if previous:
+                kept.append(len(inter) / len(previous))
+        last_partners[report.peer_ip] = current
+    if not jaccards:
+        return PartnerStability(0, 0.0, 0.0)
+    return PartnerStability(
+        num_transitions=len(jaccards),
+        mean_jaccard=sum(jaccards) / len(jaccards),
+        mean_kept_fraction=sum(kept) / len(kept) if kept else 0.0,
+    )

@@ -1,0 +1,472 @@
+"""Per-figure experiment drivers (DESIGN.md Sec. 3).
+
+Each ``figN_*`` function turns a trace (any re-iterable of reports, e.g.
+:class:`repro.traces.TraceReader`) into exactly the series or
+distributions the corresponding paper figure plots.
+``run_simulation_to_trace`` produces such traces from the simulator at a
+chosen scale; benchmarks and examples share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.metrics import (
+    DegreeSummary,
+    IntraIspDegrees,
+    ReciprocityMetrics,
+    average_degrees,
+    daily_distinct_ips,
+    degree_distributions,
+    intra_isp_degree_fractions,
+    isp_shares,
+    random_intra_isp_baseline,
+    reciprocity_metrics,
+    small_world,
+    streaming_quality,
+)
+from repro.core.snapshots import build_snapshot
+from repro.core.timeseries import SnapshotSeries, observe
+from repro.graph.degree import DegreeDistribution
+from repro.graph.smallworld import SmallWorldMetrics
+from repro.network.isp import IspDatabase, build_default_database
+from repro.simulator.channel import ChannelCatalogue
+from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
+from repro.simulator.system import SystemConfig, UUSeeSystem
+from repro.traces.records import PeerReport
+from repro.traces.store import JsonlTraceStore, TraceReader, iter_windows
+from repro.workloads.flashcrowd import FlashCrowdEvent
+
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+
+#: Default observation instants for Fig. 4: a normal Monday morning and
+#: evening, and the flash-crowd Friday morning and evening (day 5 is the
+#: simulated Oct 6 2006).
+FIG4_SNAPSHOT_TIMES: dict[str, float] = {
+    "9am normal": 1 * SECONDS_PER_DAY + 9 * SECONDS_PER_HOUR,
+    "9pm normal": 1 * SECONDS_PER_DAY + 21 * SECONDS_PER_HOUR,
+    "9am flash day": 5 * SECONDS_PER_DAY + 9 * SECONDS_PER_HOUR,
+    "9pm flash crowd": 5 * SECONDS_PER_DAY + 21 * SECONDS_PER_HOUR,
+}
+
+
+# ------------------------------------------------------------------ runner
+
+
+def run_simulation_to_trace(
+    path: str | Path,
+    *,
+    days: float = 14.0,
+    base_concurrency: float = 1_000.0,
+    seed: int = 2006,
+    with_flash_crowd: bool = True,
+    policy: SelectionPolicy = SelectionPolicy.UUSEE,
+    protocol: ProtocolConfig | None = None,
+    catalogue: ChannelCatalogue | None = None,
+) -> Path:
+    """Simulate a UUSee deployment and write its trace to ``path``.
+
+    Returns the path.  The defaults reproduce the paper's two selected
+    weeks at ~1/100 scale, including the day-5 flash crowd.
+    """
+    path = Path(path)
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base_concurrency,
+        flash_crowd=FlashCrowdEvent() if with_flash_crowd else None,
+        policy=policy,
+        protocol=protocol or ProtocolConfig(),
+    )
+    with JsonlTraceStore(path) as store:
+        system = UUSeeSystem(config, store, catalogue=catalogue)
+        system.run(days=days)
+    return path
+
+
+# ------------------------------------------------------------------ Fig. 1
+
+
+@dataclass
+class Fig1Result:
+    """Fig. 1(A) series plus Fig. 1(B) daily aggregates."""
+
+    series: SnapshotSeries  # columns: total, stable
+    daily: list[tuple[int, int, int]]  # (day, total IPs, stable IPs)
+
+    def stable_ratio(self, *, skip_first_hours: float = 12.0) -> float:
+        """Mean stable/total ratio after warm-up."""
+        ratios = [
+            stable / total
+            for t, total, stable in zip(
+                self.series.times,
+                self.series.column("total"),
+                self.series.column("stable"),
+            )
+            if t >= skip_first_hours * SECONDS_PER_HOUR and total
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def peak_hour_of_day(self, *, skip_first_hours: float = 12.0) -> float:
+        """Hour of day at which total population peaks on average."""
+        by_hour: dict[int, list[int]] = {}
+        for t, total in zip(self.series.times, self.series.column("total")):
+            if t < skip_first_hours * SECONDS_PER_HOUR:
+                continue
+            by_hour.setdefault(int((t % SECONDS_PER_DAY) // 3600), []).append(total)
+        means = {h: sum(v) / len(v) for h, v in by_hour.items()}
+        return max(means, key=means.get)
+
+    def flash_crowd_boost(self, flash_time: float) -> float:
+        """Population at the flash crowd vs the same hour one week later."""
+        week_later = flash_time + 7 * SECONDS_PER_DAY
+
+        def nearest_total(when: float) -> int:
+            best = min(self.series.times, key=lambda t: abs(t - when))
+            idx = self.series.times.index(best)
+            return self.series.column("total")[idx]
+
+        reference = nearest_total(week_later)
+        return nearest_total(flash_time) / reference if reference else 0.0
+
+
+def fig1_scale(
+    trace: Iterable[PeerReport],
+    *,
+    window_seconds: float = 600.0,
+    observe_every: float = 3_600.0,
+) -> Fig1Result:
+    """Fig. 1: simultaneous peer counts and daily distinct IPs."""
+    series = observe(
+        trace,
+        {
+            "total": lambda s: s.num_total,
+            "stable": lambda s: s.num_stable,
+        },
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    daily = daily_distinct_ips(trace)
+    return Fig1Result(series=series, daily=daily)
+
+
+# ------------------------------------------------------------------ Fig. 2
+
+
+def fig2_isp_shares(
+    trace: Iterable[PeerReport],
+    db: IspDatabase | None = None,
+    *,
+    window_seconds: float = 600.0,
+    observe_every: float = 6 * SECONDS_PER_HOUR,
+) -> dict[str, float]:
+    """Fig. 2: peer shares per ISP, averaged over sampled snapshots."""
+    db = db or build_default_database()
+    series = observe(
+        trace,
+        {"shares": lambda s: isp_shares(s, db)},
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    totals: dict[str, float] = {}
+    count = 0
+    for shares in series.column("shares"):
+        if not shares:
+            continue
+        count += 1
+        for name, value in shares.items():
+            totals[name] = totals.get(name, 0.0) + value
+    return {name: value / count for name, value in totals.items()} if count else {}
+
+
+# ------------------------------------------------------------------ Fig. 3
+
+
+@dataclass
+class Fig3Result:
+    """Per-channel streaming-quality series."""
+
+    series: SnapshotSeries  # one column per channel name
+    channels: dict[str, int]
+
+    def mean_quality(self, channel: str, *, skip_first_hours: float = 12.0) -> float:
+        """Mean satisfied fraction for a channel after warm-up."""
+        values = [
+            v
+            for t, v in zip(self.series.times, self.series.column(channel))
+            if v is not None and t >= skip_first_hours * SECONDS_PER_HOUR
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def quality_at(self, channel: str, when: float) -> float | None:
+        """Satisfied fraction at the observation nearest to ``when``."""
+        best_idx = min(
+            range(len(self.series.times)),
+            key=lambda i: abs(self.series.times[i] - when),
+        )
+        return self.series.column(channel)[best_idx]
+
+
+def fig3_streaming_quality(
+    trace: Iterable[PeerReport],
+    *,
+    channels: dict[str, int] | None = None,
+    stream_rate_kbps: float = 400.0,
+    window_seconds: float = 600.0,
+    observe_every: float = 3_600.0,
+) -> Fig3Result:
+    """Fig. 3: fraction of peers with receiving rate >= 90% of the rate."""
+    channels = channels or {"CCTV1": 0, "CCTV4": 1}
+    metrics = {
+        name: (
+            lambda s, cid=cid: streaming_quality(s, cid, stream_rate_kbps)
+        )
+        for name, cid in channels.items()
+    }
+    series = observe(
+        trace,
+        metrics,
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    return Fig3Result(series=series, channels=channels)
+
+
+# ------------------------------------------------------------------ Fig. 4
+
+
+@dataclass
+class Fig4Result:
+    """Degree distributions at the paper's four observation instants."""
+
+    distributions: dict[str, dict[str, DegreeDistribution]]  # label -> kind
+
+    def kind_at(self, label: str, kind: str) -> DegreeDistribution:
+        """Distribution of one degree kind at one snapshot label."""
+        return self.distributions[label][kind]
+
+
+def fig4_degree_distributions(
+    trace: Iterable[PeerReport],
+    *,
+    snapshot_times: dict[str, float] | None = None,
+    window_seconds: float = 600.0,
+) -> Fig4Result:
+    """Fig. 4: partner/in/out degree distributions at selected instants."""
+    times = snapshot_times or FIG4_SNAPSHOT_TIMES
+    wanted = {label: t for label, t in times.items()}
+    out: dict[str, dict[str, DegreeDistribution]] = {}
+    for window_start, window_reports in iter_windows(trace, window_seconds):
+        for label, t in wanted.items():
+            if label in out:
+                continue
+            if window_start <= t < window_start + window_seconds:
+                snapshot = build_snapshot(
+                    window_reports, time=window_start, window_seconds=window_seconds
+                )
+                out[label] = degree_distributions(snapshot)
+        if len(out) == len(wanted):
+            break
+    missing = set(wanted) - set(out)
+    if missing:
+        raise ValueError(f"trace too short for snapshots: {sorted(missing)}")
+    return Fig4Result(distributions=out)
+
+
+# ------------------------------------------------------------------ Fig. 5
+
+
+@dataclass
+class Fig5Result:
+    """Evolution of average degrees."""
+
+    series: SnapshotSeries  # column 'degrees' of DegreeSummary
+
+    def summaries(self) -> list[DegreeSummary]:
+        """All per-window degree summaries, in time order."""
+        return list(self.series.column("degrees"))
+
+    def mean_indegree(self, *, skip_first_hours: float = 12.0) -> float:
+        """Mean active indegree after warm-up (paper: flat ~10)."""
+        vals = [
+            d.mean_indegree
+            for t, d in zip(self.series.times, self.series.column("degrees"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def partner_count_range(self, *, skip_first_hours: float = 12.0) -> tuple[float, float]:
+        """(min, max) of the mean partner count after warm-up."""
+        vals = [
+            d.mean_partners
+            for t, d in zip(self.series.times, self.series.column("degrees"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR
+        ]
+        return (min(vals), max(vals)) if vals else (0.0, 0.0)
+
+
+def fig5_degree_evolution(
+    trace: Iterable[PeerReport],
+    *,
+    window_seconds: float = 600.0,
+    observe_every: float = 3_600.0,
+) -> Fig5Result:
+    """Fig. 5: evolution of mean partner count and active in/outdegree."""
+    series = observe(
+        trace,
+        {"degrees": average_degrees},
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    return Fig5Result(series=series)
+
+
+# ------------------------------------------------------------------ Fig. 6
+
+
+@dataclass
+class Fig6Result:
+    """Evolution of intra-ISP degree fractions, plus the random baseline."""
+
+    series: SnapshotSeries  # column 'intra' of IntraIspDegrees
+    random_baseline: float
+
+    def mean_fractions(self, *, skip_first_hours: float = 12.0) -> tuple[float, float]:
+        """(intra-ISP indegree, outdegree) fractions after warm-up."""
+        rows: list[IntraIspDegrees] = [
+            v
+            for t, v in zip(self.series.times, self.series.column("intra"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR
+        ]
+        if not rows:
+            return (0.0, 0.0)
+        return (
+            sum(r.indegree_fraction for r in rows) / len(rows),
+            sum(r.outdegree_fraction for r in rows) / len(rows),
+        )
+
+
+def fig6_intra_isp_degrees(
+    trace: Iterable[PeerReport],
+    db: IspDatabase | None = None,
+    *,
+    window_seconds: float = 600.0,
+    observe_every: float = 3_600.0,
+) -> Fig6Result:
+    """Fig. 6: average intra-ISP proportion of active degrees over time."""
+    db = db or build_default_database()
+    series = observe(
+        trace,
+        {"intra": lambda s: intra_isp_degree_fractions(s, db)},
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    return Fig6Result(series=series, random_baseline=random_intra_isp_baseline(db))
+
+
+# ------------------------------------------------------------------ Fig. 7
+
+
+@dataclass
+class Fig7Result:
+    """Small-world metric series for a graph family (global or one ISP)."""
+
+    series: SnapshotSeries  # column 'sw' of SmallWorldMetrics
+    isp: str | None
+
+    def metrics(self) -> list[SmallWorldMetrics]:
+        """All per-window small-world metrics, in time order."""
+        return list(self.series.column("sw"))
+
+    def mean_clustering_ratio(self, *, skip_first_hours: float = 12.0) -> float:
+        """Mean C/C_random after warm-up (paper: >10x)."""
+        vals = [
+            m.clustering_ratio
+            for t, m in zip(self.series.times, self.series.column("sw"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR
+            and m.clustering_ratio != float("inf")
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def mean_path_ratio(self, *, skip_first_hours: float = 12.0) -> float:
+        """Mean L/L_random after warm-up (paper: ~1x)."""
+        vals = [
+            m.path_length_ratio
+            for t, m in zip(self.series.times, self.series.column("sw"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR and m.path_length_ratio > 0
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def fig7_small_world(
+    trace: Iterable[PeerReport],
+    *,
+    isp: str | None = None,
+    db: IspDatabase | None = None,
+    window_seconds: float = 600.0,
+    observe_every: float = 6 * SECONDS_PER_HOUR,
+    seed: int = 0,
+) -> Fig7Result:
+    """Fig. 7: C and L of the stable-peer graph vs matched random graphs.
+
+    Pass ``isp='China Netcom'`` for the Fig. 7(B) ISP subgraph variant.
+    """
+    db = db or build_default_database()
+    series = observe(
+        trace,
+        {"sw": lambda s: small_world(s, isp=isp, db=db, seed=seed)},
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    return Fig7Result(series=series, isp=isp)
+
+
+# ------------------------------------------------------------------ Fig. 8
+
+
+@dataclass
+class Fig8Result:
+    """Edge-reciprocity series: all links, intra-ISP, inter-ISP."""
+
+    series: SnapshotSeries  # column 'rho' of ReciprocityMetrics
+
+    def metrics(self) -> list[ReciprocityMetrics]:
+        """All per-window reciprocity metrics, in time order."""
+        return list(self.series.column("rho"))
+
+    def means(self, *, skip_first_hours: float = 12.0) -> ReciprocityMetrics:
+        """Mean rho (all/intra/inter) after warm-up."""
+        rows = [
+            m
+            for t, m in zip(self.series.times, self.series.column("rho"))
+            if t >= skip_first_hours * SECONDS_PER_HOUR
+        ]
+        n = len(rows) or 1
+        from repro.core.metrics import ReciprocityMetrics as RM
+
+        return RM(
+            all_links=sum(m.all_links for m in rows) / n,
+            intra_isp=sum(m.intra_isp for m in rows) / n,
+            inter_isp=sum(m.inter_isp for m in rows) / n,
+            num_edges=sum(m.num_edges for m in rows) // n,
+        )
+
+
+def fig8_reciprocity(
+    trace: Iterable[PeerReport],
+    db: IspDatabase | None = None,
+    *,
+    window_seconds: float = 600.0,
+    observe_every: float = 3_600.0,
+) -> Fig8Result:
+    """Fig. 8: Garlaschelli-Loffredo reciprocity, global and ISP-split."""
+    db = db or build_default_database()
+    series = observe(
+        trace,
+        {"rho": lambda s: reciprocity_metrics(s, db)},
+        window_seconds=window_seconds,
+        observe_every=observe_every,
+    )
+    return Fig8Result(series=series)

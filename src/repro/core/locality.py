@@ -1,0 +1,77 @@
+"""Traffic locality: segment flows between ISPs and server dependence.
+
+Fig. 6 counts intra-ISP *links*; ISPs, however, care about *traffic*.
+These analytics weight each active link by the segments it carried in
+the window, yielding the ISP-to-ISP traffic matrix, the intra-ISP
+traffic fraction, and how much of the stream still comes straight from
+UUSee's servers (unmapped IPs) rather than from peers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.snapshots import TopologySnapshot
+from repro.network.isp import IspDatabase
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """Directed segment flows between ISPs in one window."""
+
+    flows: dict[tuple[str, str], float]  # (from ISP, to ISP) -> segments
+    from_unmapped: float  # segments received from unmapped IPs (servers)
+    total_received: float  # all segments received by stable peers
+
+    def intra_fraction(self) -> float:
+        """Intra-ISP share of the ISP-attributable traffic."""
+        mapped = sum(self.flows.values())
+        if mapped == 0:
+            return 0.0
+        intra = sum(v for (a, b), v in self.flows.items() if a == b)
+        return intra / mapped
+
+    def server_fraction(self) -> float:
+        """Share of all received traffic that came from unmapped sources."""
+        if self.total_received == 0:
+            return 0.0
+        return self.from_unmapped / self.total_received
+
+    def top_flows(self, k: int = 5) -> list[tuple[str, str, float]]:
+        """The ``k`` largest ISP-to-ISP flows, descending."""
+        ranked = sorted(self.flows.items(), key=lambda kv: kv[1], reverse=True)
+        return [(a, b, v) for (a, b), v in ranked[:k]]
+
+
+def isp_traffic_matrix(snapshot: TopologySnapshot, db: IspDatabase) -> TrafficMatrix:
+    """Aggregate per-partner received-segment counts into ISP flows.
+
+    Uses the receiver side of every stable peer's report (received
+    counts are authoritative for what actually arrived).
+    """
+    flows: dict[tuple[str, str], float] = defaultdict(float)
+    from_unmapped = 0.0
+    total = 0.0
+    isp_cache: dict[int, str | None] = {}
+
+    def isp_of(ip: int) -> str | None:
+        if ip not in isp_cache:
+            isp_cache[ip] = db.lookup(ip)
+        return isp_cache[ip]
+
+    for report in snapshot.reports.values():
+        own = isp_of(report.peer_ip)
+        for partner in report.partners:
+            segments = float(partner.recv_segments)
+            if segments <= 0:
+                continue
+            total += segments
+            source = isp_of(partner.ip)
+            if source is None or own is None:
+                from_unmapped += segments if source is None else 0.0
+                continue
+            flows[(source, own)] += segments
+    return TrafficMatrix(
+        flows=dict(flows), from_unmapped=from_unmapped, total_received=total
+    )

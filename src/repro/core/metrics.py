@@ -1,0 +1,270 @@
+"""The paper's metric suite over topology snapshots (Sec. 4).
+
+Every function takes a :class:`TopologySnapshot` (plus, where relevant,
+the ISP mapping database) and returns plain values or small dataclasses,
+so experiment drivers can assemble the exact series each figure plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.degree import DegreeDistribution
+from repro.graph.digraph import DiGraph
+from repro.graph.reciprocity import edge_reciprocity
+from repro.graph.smallworld import SmallWorldMetrics, small_world_metrics
+from repro.core.snapshots import TopologySnapshot
+from repro.network.isp import IspDatabase
+from repro.traces.records import PeerReport
+
+# ----------------------------------------------------------------- Fig. 1
+
+
+def peer_counts(snapshot: TopologySnapshot) -> tuple[int, int]:
+    """(total IPs seen, stable reporting IPs) in the window — Fig. 1(A)."""
+    return snapshot.num_total, snapshot.num_stable
+
+
+def daily_distinct_ips(
+    reports: Iterable[PeerReport], *, seconds_per_day: float = 86_400.0
+) -> list[tuple[int, int, int]]:
+    """Per-day (day index, distinct total IPs, distinct stable IPs).
+
+    'Stable' IPs reported at least once that day; 'total' additionally
+    counts every IP appearing in any partner list — Fig. 1(B).
+    """
+    total_by_day: dict[int, set[int]] = defaultdict(set)
+    stable_by_day: dict[int, set[int]] = defaultdict(set)
+    for report in reports:
+        day = int(report.time // seconds_per_day)
+        stable_by_day[day].add(report.peer_ip)
+        total_by_day[day].add(report.peer_ip)
+        for partner in report.partners:
+            total_by_day[day].add(partner.ip)
+    return [
+        (day, len(total_by_day[day]), len(stable_by_day[day]))
+        for day in sorted(total_by_day)
+    ]
+
+
+# ----------------------------------------------------------------- Fig. 2
+
+
+def isp_shares(
+    snapshot: TopologySnapshot, db: IspDatabase, *, stable_only: bool = False
+) -> dict[str, float]:
+    """Fraction of peers per ISP (unmapped IPs, e.g. servers, excluded)."""
+    ips = snapshot.stable_ips if stable_only else snapshot.all_ips
+    counts: dict[str, int] = defaultdict(int)
+    mapped = 0
+    for ip in ips:
+        name = db.lookup(ip)
+        if name is not None:
+            counts[name] += 1
+            mapped += 1
+    if mapped == 0:
+        return {}
+    return {name: count / mapped for name, count in counts.items()}
+
+
+# ----------------------------------------------------------------- Fig. 3
+
+
+def streaming_quality(
+    snapshot: TopologySnapshot,
+    channel_id: int,
+    stream_rate_kbps: float,
+    *,
+    threshold: float = 0.9,
+) -> float | None:
+    """Fraction of the channel's stable peers receiving >= 90% of the rate.
+
+    Returns None when the window holds no reports for the channel.
+    """
+    rates = [
+        r.recv_rate_kbps
+        for r in snapshot.reports.values()
+        if r.channel_id == channel_id
+    ]
+    if not rates:
+        return None
+    satisfied = sum(1 for rate in rates if rate >= threshold * stream_rate_kbps)
+    return satisfied / len(rates)
+
+
+# ------------------------------------------------------------- Figs. 4, 5
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Mean degrees of stable peers in one window — the Fig. 5 series."""
+
+    mean_partners: float
+    mean_indegree: float
+    mean_outdegree: float
+
+
+def degree_distributions(
+    snapshot: TopologySnapshot,
+) -> dict[str, DegreeDistribution]:
+    """{'partners', 'in', 'out'} distributions over stable peers — Fig. 4.
+
+    Degrees come straight from each stable peer's report, so partners may
+    include transient peers — matching the paper's methodology.
+    """
+    thr = snapshot.active_threshold
+    partners, indeg, outdeg = [], [], []
+    for report in snapshot.reports.values():
+        partners.append(len(report.partners))
+        indeg.append(len(report.active_suppliers(thr)))
+        outdeg.append(len(report.active_receivers(thr)))
+    return {
+        "partners": DegreeDistribution.from_degrees(partners),
+        "in": DegreeDistribution.from_degrees(indeg),
+        "out": DegreeDistribution.from_degrees(outdeg),
+    }
+
+
+def average_degrees(snapshot: TopologySnapshot) -> DegreeSummary:
+    """Mean partner count / active indegree / active outdegree — Fig. 5."""
+    dists = degree_distributions(snapshot)
+    return DegreeSummary(
+        mean_partners=dists["partners"].mean(),
+        mean_indegree=dists["in"].mean(),
+        mean_outdegree=dists["out"].mean(),
+    )
+
+
+# ----------------------------------------------------------------- Fig. 6
+
+
+@dataclass(frozen=True)
+class IntraIspDegrees:
+    """Average per-peer fraction of intra-ISP active degree — Fig. 6."""
+
+    indegree_fraction: float
+    outdegree_fraction: float
+    peers_with_indegree: int
+    peers_with_outdegree: int
+
+
+def intra_isp_degree_fractions(
+    snapshot: TopologySnapshot, db: IspDatabase
+) -> IntraIspDegrees:
+    """Per-peer intra-ISP proportions of active in/outdegree, averaged.
+
+    Follows the paper exactly: for each stable peer, the proportion of
+    its active supplying (receiving) partners in the same ISP, then the
+    mean over peers.  Peers with zero active degree (or unmapped IPs)
+    are excluded from the corresponding average.
+    """
+    thr = snapshot.active_threshold
+    in_fracs: list[float] = []
+    out_fracs: list[float] = []
+    for report in snapshot.reports.values():
+        own = db.lookup(report.peer_ip)
+        if own is None:
+            continue
+        suppliers = report.active_suppliers(thr)
+        receivers = report.active_receivers(thr)
+        if suppliers:
+            same = sum(1 for p in suppliers if db.lookup(p.ip) == own)
+            in_fracs.append(same / len(suppliers))
+        if receivers:
+            same = sum(1 for p in receivers if db.lookup(p.ip) == own)
+            out_fracs.append(same / len(receivers))
+    return IntraIspDegrees(
+        indegree_fraction=sum(in_fracs) / len(in_fracs) if in_fracs else 0.0,
+        outdegree_fraction=sum(out_fracs) / len(out_fracs) if out_fracs else 0.0,
+        peers_with_indegree=len(in_fracs),
+        peers_with_outdegree=len(out_fracs),
+    )
+
+
+def random_intra_isp_baseline(db: IspDatabase) -> float:
+    """Expected intra-ISP fraction under ISP-blind partner selection.
+
+    If partners were chosen uniformly, the probability that a partner
+    shares the peer's ISP is that ISP's population share; averaging over
+    peers gives the sum of squared shares.
+    """
+    return sum(isp.share**2 for isp in db.isps)
+
+
+# ----------------------------------------------------------------- Fig. 7
+
+
+def small_world(
+    snapshot: TopologySnapshot,
+    *,
+    isp: str | None = None,
+    db: IspDatabase | None = None,
+    seed: int = 0,
+    path_sample_sources: int | None = 64,
+) -> SmallWorldMetrics:
+    """Small-world metrics of the stable-peer graph (or one ISP's subgraph)."""
+    graph = snapshot.stable_undirected_graph()
+    if isp is not None:
+        if db is None:
+            raise ValueError("ISP subgraph analysis requires the ISP database")
+        members = [ip for ip in graph.nodes() if db.lookup(ip) == isp]
+        graph = graph.subgraph(members)
+    return small_world_metrics(
+        graph, seed=seed, path_sample_sources=path_sample_sources
+    )
+
+
+# ----------------------------------------------------------------- Fig. 8
+
+
+@dataclass(frozen=True)
+class ReciprocityMetrics:
+    """Edge reciprocity rho of the active topology — Fig. 8."""
+
+    all_links: float
+    intra_isp: float
+    inter_isp: float
+    num_edges: int
+
+
+def _links_subgraph(edges: Iterable[tuple[int, int]]) -> DiGraph:
+    g = DiGraph()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def reciprocity_metrics(
+    snapshot: TopologySnapshot, db: IspDatabase
+) -> ReciprocityMetrics:
+    """rho over all active links, intra-ISP links and inter-ISP links.
+
+    As in the paper, the intra (inter) sub-topology consists of the
+    links whose endpoints share (differ in) ISP, plus incident peers.
+    """
+    full = snapshot.active_graph
+    intra_edges = []
+    inter_edges = []
+    isp_cache: dict[int, str | None] = {}
+
+    def isp_of(ip: int) -> str | None:
+        if ip not in isp_cache:
+            isp_cache[ip] = db.lookup(ip)
+        return isp_cache[ip]
+
+    for u, v in full.edges():
+        a, b = isp_of(u), isp_of(v)
+        if a is None or b is None:
+            continue
+        if a == b:
+            intra_edges.append((u, v))
+        else:
+            inter_edges.append((u, v))
+    return ReciprocityMetrics(
+        all_links=edge_reciprocity(full),
+        intra_isp=edge_reciprocity(_links_subgraph(intra_edges)),
+        inter_isp=edge_reciprocity(_links_subgraph(inter_edges)),
+        num_edges=full.num_edges,
+    )

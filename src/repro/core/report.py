@@ -1,0 +1,77 @@
+"""Text and CSV rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and machine-readable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.timeseries import SnapshotSeries
+
+
+def _fmt(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Align rows under headers; floats rendered at ``precision``."""
+    rendered = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: SnapshotSeries,
+    columns: Sequence[str],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+    time_unit: str = "hours",
+) -> str:
+    """Render a SnapshotSeries with a time column first."""
+    divisor = {"seconds": 1.0, "hours": 3_600.0, "days": 86_400.0}[time_unit]
+    rows = []
+    for t, row in series.rows():
+        rows.append([t / divisor] + [row.get(c) for c in columns])
+    return format_table(
+        [f"t_{time_unit}"] + list(columns), rows, precision=precision, title=title
+    )
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to a CSV file; returns the path."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path

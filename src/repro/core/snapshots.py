@@ -1,0 +1,109 @@
+"""Topology snapshot construction from trace windows (paper Sec. 4).
+
+A snapshot summarises one observation window of the trace:
+
+- *stable peers* are those whose reports arrived in the window (the
+  paper's reporting peers — the 'stable backbone');
+- the *active graph* is directed: an edge u -> v exists when at least
+  ``active_threshold`` segments flowed from u to v in the window,
+  reconstructed from both endpoints' reports (receivers report what they
+  got from each partner; senders report what they sent);
+- the *partner graph* is undirected and contains every partnership a
+  reporting peer listed, active or not — transient peers appear here via
+  the partner lists of stable peers, exactly as in the paper's traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graph.digraph import DiGraph, Graph
+from repro.traces.records import PeerReport
+
+DEFAULT_ACTIVE_THRESHOLD = 10
+
+
+@dataclass
+class TopologySnapshot:
+    """One observation window's topology and per-peer report data."""
+
+    time: float
+    window_seconds: float
+    reports: dict[int, PeerReport]  # latest report per stable peer IP
+    active_graph: DiGraph  # directed active links, all IPs
+    partner_graph: Graph  # undirected partnerships, all IPs
+    active_threshold: int = DEFAULT_ACTIVE_THRESHOLD
+    _stable_active: DiGraph | None = field(default=None, repr=False)
+
+    @property
+    def stable_ips(self) -> set[int]:
+        """IPs that reported in this window."""
+        return set(self.reports)
+
+    @property
+    def all_ips(self) -> set[int]:
+        """Every IP seen: reporters plus their listed partners."""
+        return set(self.partner_graph.nodes())
+
+    @property
+    def num_stable(self) -> int:
+        """Number of stable (reporting) peers."""
+        return len(self.reports)
+
+    @property
+    def num_total(self) -> int:
+        """All IPs seen in the window: reporters plus listed partners."""
+        return self.partner_graph.num_nodes
+
+    def stable_active_graph(self) -> DiGraph:
+        """Active links restricted to stable (reporting) peers."""
+        if self._stable_active is None:
+            self._stable_active = self.active_graph.subgraph(self.stable_ips)
+        return self._stable_active
+
+    def stable_undirected_graph(self) -> Graph:
+        """Undirected stable-peer graph of active links (Sec. 4.3)."""
+        return self.stable_active_graph().to_undirected()
+
+
+def build_snapshot(
+    reports: Iterable[PeerReport],
+    *,
+    time: float,
+    window_seconds: float,
+    active_threshold: int = DEFAULT_ACTIVE_THRESHOLD,
+) -> TopologySnapshot:
+    """Assemble a snapshot from the reports of one observation window.
+
+    When a peer reported more than once in the window, its latest report
+    wins (the counters are per-interval, so the latest reflects the most
+    recent exchange activity).
+    """
+    latest: dict[int, PeerReport] = {}
+    for report in reports:
+        previous = latest.get(report.peer_ip)
+        if previous is None or report.time >= previous.time:
+            latest[report.peer_ip] = report
+
+    active = DiGraph()
+    partners = Graph()
+    for ip, report in latest.items():
+        active.add_node(ip)
+        partners.add_node(ip)
+        for partner in report.partners:
+            if partner.ip == ip:
+                continue
+            partners.add_edge(ip, partner.ip)
+            if partner.recv_segments >= active_threshold:
+                active.add_edge(partner.ip, ip)
+            if partner.sent_segments >= active_threshold:
+                active.add_edge(ip, partner.ip)
+    return TopologySnapshot(
+        time=time,
+        window_seconds=window_seconds,
+        reports=latest,
+        active_graph=active,
+        partner_graph=partners,
+        active_threshold=active_threshold,
+    )

@@ -1,0 +1,53 @@
+"""Mesh-structure metrics beyond the paper's core set.
+
+The paper's findings imply structural properties it never measures
+directly: bilateral exchange implies a large strongly connected core,
+the 'stable backbone' implies a deep k-core, and ISP clustering implies
+positive ISP attribute mixing.  These metrics verify those implications
+on the same snapshots — the extension analyses Magellan's conclusion
+says are part of ongoing work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.snapshots import TopologySnapshot
+from repro.graph.assortativity import attribute_mixing, degree_assortativity
+from repro.graph.components import largest_scc_fraction
+from repro.graph.kcore import core_numbers
+from repro.graph.triads import DyadCensus, dyad_census
+from repro.network.isp import IspDatabase
+
+
+@dataclass(frozen=True)
+class MeshStructure:
+    """Structural summary of the stable-peer active graph."""
+
+    num_nodes: int
+    num_edges: int
+    largest_scc_fraction: float  # bilateral core reach
+    degeneracy: int  # deepest k-core
+    deep_core_fraction: float  # peers in the (degeneracy)-core
+    degree_assortativity: float
+    isp_mixing: float  # Newman coefficient over ISP labels
+    dyads: DyadCensus
+
+
+def mesh_structure(snapshot: TopologySnapshot, db: IspDatabase) -> MeshStructure:
+    """Compute the structural summary for one snapshot."""
+    digraph = snapshot.stable_active_graph()
+    undirected = snapshot.stable_undirected_graph()
+    cores = core_numbers(undirected)
+    deepest = max(cores.values()) if cores else 0
+    deep_members = sum(1 for c in cores.values() if c >= deepest) if cores else 0
+    return MeshStructure(
+        num_nodes=digraph.num_nodes,
+        num_edges=digraph.num_edges,
+        largest_scc_fraction=largest_scc_fraction(digraph),
+        degeneracy=deepest,
+        deep_core_fraction=deep_members / digraph.num_nodes if digraph.num_nodes else 0.0,
+        degree_assortativity=degree_assortativity(undirected),
+        isp_mixing=attribute_mixing(undirected, db.lookup),
+        dyads=dyad_census(digraph),
+    )

@@ -1,0 +1,73 @@
+"""From-scratch graph substrate used by the Magellan analytics.
+
+This subpackage implements every graph primitive the paper's evaluation
+needs — directed/undirected graphs, traversal, clustering coefficients,
+average path lengths, Garlaschelli-Loffredo edge reciprocity, degree
+distributions, and seeded random-graph baselines — without depending on
+third-party graph libraries at runtime.  ``networkx`` is used only in the
+test suite, to cross-validate these implementations.
+"""
+
+from repro.graph.digraph import DiGraph, Graph
+from repro.graph.traversal import (
+    average_shortest_path_length,
+    bfs_distances,
+    connected_components,
+    largest_component,
+)
+from repro.graph.clustering import average_clustering, local_clustering
+from repro.graph.reciprocity import edge_reciprocity, raw_reciprocity
+from repro.graph.degree import (
+    DegreeDistribution,
+    degree_distribution,
+    distribution_mode,
+    powerlaw_fit,
+)
+from repro.graph.random_graphs import gnm_random_graph, gnp_random_graph
+from repro.graph.smallworld import SmallWorldMetrics, small_world_metrics
+from repro.graph.components import (
+    condensation_size,
+    largest_scc_fraction,
+    strongly_connected_components,
+)
+from repro.graph.assortativity import attribute_mixing, degree_assortativity
+from repro.graph.kcore import core_numbers, degeneracy, k_core
+from repro.graph.triads import (
+    DyadCensus,
+    TriangleCensus,
+    dyad_census,
+    triangle_census,
+)
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "average_shortest_path_length",
+    "bfs_distances",
+    "connected_components",
+    "largest_component",
+    "average_clustering",
+    "local_clustering",
+    "edge_reciprocity",
+    "raw_reciprocity",
+    "DegreeDistribution",
+    "degree_distribution",
+    "distribution_mode",
+    "powerlaw_fit",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "SmallWorldMetrics",
+    "small_world_metrics",
+    "condensation_size",
+    "largest_scc_fraction",
+    "strongly_connected_components",
+    "attribute_mixing",
+    "degree_assortativity",
+    "core_numbers",
+    "degeneracy",
+    "k_core",
+    "DyadCensus",
+    "TriangleCensus",
+    "dyad_census",
+    "triangle_census",
+]

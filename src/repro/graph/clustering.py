@@ -1,0 +1,61 @@
+"""Watts-Strogatz clustering coefficients (paper Sec. 4.3).
+
+The paper computes ``C_g = (1/n) * sum_i C_i`` where ``C_i`` is the
+fraction of possible edges present among vertex i's neighbours, and
+compares it against a random graph with the same vertex count and link
+density.  These functions operate on the undirected stable-peer graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.digraph import Graph
+
+Node = Hashable
+
+
+def local_clustering(graph: Graph, node: Node) -> float:
+    """C_i: realised fraction of edges among ``node``'s neighbours.
+
+    Vertices with degree < 2 have an empty neighbourhood pair set; the
+    conventional value 0.0 is returned (matching networkx).
+    """
+    nbrs = graph.neighbors(node)
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    links = 0
+    nbr_list = list(nbrs)
+    for i, u in enumerate(nbr_list):
+        u_nbrs = graph.neighbors(u)
+        for v in nbr_list[i + 1 :]:
+            if v in u_nbrs:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph, *, count_isolated: bool = True) -> float:
+    """C_g: mean of local clustering coefficients over all vertices.
+
+    ``count_isolated=True`` (the paper's definition, averaging over *all*
+    n vertices) includes degree<2 vertices as zeros; with ``False`` they
+    are excluded from the mean.
+    """
+    coeffs = []
+    for node in graph.nodes():
+        if graph.degree(node) < 2 and not count_isolated:
+            continue
+        coeffs.append(local_clustering(graph, node))
+    if not coeffs:
+        return 0.0
+    return sum(coeffs) / len(coeffs)
+
+
+def expected_random_clustering(graph: Graph) -> float:
+    """C of a G(n,m) random graph with this graph's size: its density.
+
+    In an Erdos-Renyi graph the probability that two neighbours are linked
+    equals the overall edge probability, so C_random ~= 2m / (n(n-1)).
+    """
+    return graph.density()

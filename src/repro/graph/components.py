@@ -1,0 +1,84 @@
+"""Directed connectivity: strongly connected components and reach.
+
+The paper's reciprocity analysis implies a strongly-connected mesh core
+(bilateral links form 2-cycles); these utilities let experiments verify
+that directly.  Tarjan's algorithm is implemented iteratively — the
+stable-peer graphs are large enough to overflow Python's recursion
+limit otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.digraph import DiGraph
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
+    """All SCCs, largest first (iterative Tarjan)."""
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[set[Node]] = []
+    counter = 0
+
+    for root in list(graph.nodes()):
+        if root in index_of:
+            continue
+        # work stack of (node, iterator over successors)
+        work: list[tuple[Node, list[Node], int]] = [
+            (root, sorted(graph.successors(root), key=repr), 0)
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs, i = work.pop()
+            advanced = False
+            while i < len(succs):
+                nxt = succs[i]
+                i += 1
+                if nxt not in index_of:
+                    work.append((node, succs, i))
+                    index_of[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, sorted(graph.successors(nxt), key=repr), 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: set[Node] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_scc_fraction(graph: DiGraph) -> float:
+    """Fraction of vertices in the largest SCC (0.0 for empty graphs)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    components = strongly_connected_components(graph)
+    return len(components[0]) / graph.num_nodes
+
+
+def condensation_size(graph: DiGraph) -> int:
+    """Number of SCCs (vertices of the condensation DAG)."""
+    return len(strongly_connected_components(graph))

@@ -1,0 +1,254 @@
+"""Directed and undirected graph containers.
+
+Both classes store adjacency as dictionaries of sets, which keeps edge
+insertion, deletion and membership checks O(1) and iteration over a
+vertex's neighbourhood O(degree).  Vertices may be any hashable value
+(the analytics layer uses integer peer identifiers and IPv4 integers).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+
+
+class Graph:
+    """A simple undirected graph (no self-loops, no parallel edges)."""
+
+    def __init__(self, edges: Iterable[tuple[Node, Node]] | None = None) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``; self-loops are rejected."""
+        if u == v:
+            raise ValueError(f"self-loop rejected: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise KeyError(f"no edge {u!r}-{v!r}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        neighbours = self._adj.pop(node)
+        for other in neighbours:
+            self._adj[other].discard(node)
+        self._num_edges -= len(neighbours)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True when the undirected edge {u, v} exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """The neighbour set of ``node`` (a live reference; do not mutate)."""
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self._adj[node])
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Each undirected edge exactly once."""
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    @property
+    def num_nodes(self) -> int:
+        """Vertex count."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count."""
+        return self._num_edges
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        sub = Graph()
+        for n in keep:
+            sub.add_node(n)
+        for n in keep:
+            for v in self._adj[n]:
+                if v in keep and not sub.has_edge(n, v):
+                    sub.add_edge(n, v)
+        return sub
+
+    def density(self) -> float:
+        """Fraction of possible edges present (0 for graphs with <2 nodes)."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+
+class DiGraph:
+    """A simple directed graph (no self-loops, no parallel edges)."""
+
+    def __init__(self, edges: Iterable[tuple[Node, Node]] | None = None) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``u -> v``; self-loops are rejected."""
+        if u == v:
+            raise ValueError(f"self-loop rejected: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``u -> v``; raises ``KeyError`` if absent."""
+        if u not in self._succ or v not in self._succ[u]:
+            raise KeyError(f"no edge {u!r}->{v!r}")
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        out = self._succ.pop(node)
+        inc = self._pred.pop(node)
+        for v in out:
+            self._pred[v].discard(node)
+        for u in inc:
+            self._succ[u].discard(node)
+        self._num_edges -= len(out) + len(inc)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True when the directed edge ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, node: Node) -> set[Node]:
+        """Out-neighbours of ``node`` (live reference; do not mutate)."""
+        return self._succ[node]
+
+    def predecessors(self, node: Node) -> set[Node]:
+        """In-neighbours of ``node`` (live reference; do not mutate)."""
+        return self._pred[node]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-neighbours."""
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-neighbours."""
+        return len(self._pred[node])
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all vertices."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over all directed edges as (u, v) pairs."""
+        for u, nbrs in self._succ.items():
+            for v in nbrs:
+                yield (u, v)
+
+    @property
+    def num_nodes(self) -> int:
+        """Vertex count."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count."""
+        return self._num_edges
+
+    def density(self) -> float:
+        """Ratio of existing to possible directed edges (paper's a-bar)."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        return self._num_edges / (n * (n - 1))
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
+        keep = {n for n in nodes if n in self._succ}
+        sub = DiGraph()
+        for n in keep:
+            sub.add_node(n)
+        for n in keep:
+            for v in self._succ[n]:
+                if v in keep:
+                    sub.add_edge(n, v)
+        return sub
+
+    def to_undirected(self) -> Graph:
+        """Collapse edge direction; ``u->v`` and/or ``v->u`` become ``{u,v}``."""
+        g = Graph()
+        for n in self._succ:
+            g.add_node(n)
+        for u, v in self.edges():
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def reverse(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+        rev = DiGraph()
+        for n in self._succ:
+            rev.add_node(n)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev

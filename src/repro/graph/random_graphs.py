@@ -1,0 +1,69 @@
+"""Seeded Erdos-Renyi random graphs, the paper's comparison baselines.
+
+The small-world test (Sec. 4.3) compares C and L of the stable-peer
+graph against 'a corresponding random graph' — same vertex count and
+link density — and the reciprocity measure (Sec. 4.4) is defined
+relative to the same null model.  G(n, m) gives an exact edge-count
+match; G(n, p) is provided for completeness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph, Graph
+
+
+def gnm_random_graph(
+    n: int, m: int, *, seed: int = 0, directed: bool = False
+) -> Graph | DiGraph:
+    """A uniform random (di)graph with ``n`` vertices and exactly ``m`` edges.
+
+    Raises ``ValueError`` if ``m`` exceeds the number of possible edges.
+    Vertices are labelled 0..n-1.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    possible = n * (n - 1) if directed else n * (n - 1) // 2
+    if m > possible:
+        raise ValueError(f"m={m} exceeds the {possible} possible edges")
+    rng = random.Random(seed)
+    graph: Graph | DiGraph = DiGraph() if directed else Graph()
+    for v in range(n):
+        graph.add_node(v)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    return graph
+
+
+def gnp_random_graph(
+    n: int, p: float, *, seed: int = 0, directed: bool = False
+) -> Graph | DiGraph:
+    """A G(n, p) random (di)graph: each possible edge present w.p. ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p out of range: {p}")
+    rng = random.Random(seed)
+    graph: Graph | DiGraph = DiGraph() if directed else Graph()
+    for v in range(n):
+        graph.add_node(v)
+    for u in range(n):
+        start = 0 if directed else u + 1
+        for v in range(start, n):
+            if u == v:
+                continue
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def matched_random_graph(graph: Graph, *, seed: int = 0) -> Graph:
+    """A G(n, m) baseline with the same node and edge counts as ``graph``."""
+    result = gnm_random_graph(graph.num_nodes, graph.num_edges, seed=seed)
+    assert isinstance(result, Graph)
+    return result

@@ -1,0 +1,44 @@
+"""Edge reciprocity metrics (paper Sec. 4.4, Eq. 1 and Eq. 2).
+
+``raw_reciprocity`` is the classic fraction of bilateral edges, Eq. (1):
+
+    r = sum_{i!=j} a_ij * a_ji / M
+
+``edge_reciprocity`` is the Garlaschelli-Loffredo correlation measure,
+Eq. (2):
+
+    rho = (r - abar) / (1 - abar),   abar = M / (N * (N - 1))
+
+where ``abar`` equals the expected ``r`` of a random digraph with the
+same vertex and edge counts.  rho > 0 means the graph is reciprocal,
+rho < 0 antireciprocal (e.g. tree-like media distribution, where r = 0
+and rho = -abar / (1 - abar)), rho ~= 0 means direction is uncorrelated.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+
+
+def raw_reciprocity(graph: DiGraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists (Eq. 1)."""
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    bilateral = sum(1 for u, v in graph.edges() if graph.has_edge(v, u))
+    return bilateral / m
+
+
+def edge_reciprocity(graph: DiGraph) -> float:
+    """Garlaschelli-Loffredo edge reciprocity rho (Eq. 2).
+
+    Returns 0.0 for degenerate graphs (no edges, or density 1 where the
+    measure is undefined).
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    abar = graph.density()
+    if abar >= 1.0:
+        return 0.0
+    r = raw_reciprocity(graph)
+    return (r - abar) / (1.0 - abar)

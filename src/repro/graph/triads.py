@@ -1,0 +1,88 @@
+"""Directed dyad and triangle statistics.
+
+Reciprocity (Sec. 4.4) is a statement about dyads; its natural
+refinement counts dyad states (mutual / asymmetric / null, the 'MAN'
+census) and the cyclic-vs-transitive balance of directed triangles.  A
+reciprocal exchange mesh is rich in mutual dyads and cyclic triangles;
+a tree has neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class DyadCensus:
+    """Counts of dyad states over all vertex pairs."""
+
+    mutual: int  # u->v and v->u
+    asymmetric: int  # exactly one direction
+    null: int  # no edge
+
+    @property
+    def total(self) -> int:
+        """All vertex pairs."""
+        return self.mutual + self.asymmetric + self.null
+
+    def mutual_fraction_of_connected(self) -> float:
+        """Share of connected dyads that are bilateral."""
+        connected = self.mutual + self.asymmetric
+        return self.mutual / connected if connected else 0.0
+
+
+def dyad_census(graph: DiGraph) -> DyadCensus:
+    """Count mutual / asymmetric / null dyads."""
+    n = graph.num_nodes
+    mutual = 0
+    asymmetric = 0
+    for u, v in graph.edges():
+        if graph.has_edge(v, u):
+            mutual += 1  # counted once per direction; halved below
+        else:
+            asymmetric += 1
+    mutual //= 2
+    pairs = n * (n - 1) // 2
+    return DyadCensus(
+        mutual=mutual,
+        asymmetric=asymmetric,
+        null=pairs - mutual - asymmetric,
+    )
+
+
+@dataclass(frozen=True)
+class TriangleCensus:
+    """Directed triangle counts over vertex triples."""
+
+    cyclic: int  # u->v->w->u (one rotation counted once)
+    transitive: int  # u->v->w and u->w
+
+    @property
+    def total(self) -> int:
+        """All directed triangles counted."""
+        return self.cyclic + self.transitive
+
+
+def triangle_census(graph: DiGraph) -> TriangleCensus:
+    """Count cyclic and transitive directed triangles.
+
+    A triple may contribute several triangles when dyads are mutual;
+    each directed 3-edge configuration is counted once.
+    """
+    cyclic = 0
+    transitive = 0
+    for u in graph.nodes():
+        for v in graph.successors(u):
+            if v == u:
+                continue
+            for w in graph.successors(v):
+                if w == u or w == v:
+                    continue
+                if graph.has_edge(w, u):
+                    cyclic += 1
+                if graph.has_edge(u, w):
+                    transitive += 1
+    # every cyclic triangle u->v->w->u is found at 3 rotations
+    return TriangleCensus(cyclic=cyclic // 3, transitive=transitive)

@@ -1,0 +1,47 @@
+"""Synthetic Internet model underneath the UUSee overlay.
+
+The paper maps every peer IP to its ISP through a proprietary range
+database supplied by UUSee Inc., and attributes intra-ISP clustering to
+intra-ISP connections having higher throughput and lower delay.  This
+subpackage reproduces both ingredients synthetically:
+
+- an IPv4 address plan that partitions public-style address space into
+  per-ISP CIDR blocks sized to the Fig. 2 market shares;
+- :class:`IspDatabase`, a sorted-range lookup exactly like the paper's
+  mapping database;
+- a latency/throughput model in which link quality depends on whether
+  the two endpoints share an ISP (and whether either is overseas);
+- the access-bandwidth mix (ADSL/cable majority, as the paper notes).
+"""
+
+from repro.network.ip import CidrBlock, IpAllocator, format_ip, parse_ip
+from repro.network.isp import (
+    DEFAULT_ISPS,
+    Isp,
+    IspDatabase,
+    build_default_database,
+)
+from repro.network.latency import LatencyModel, LinkQuality
+from repro.network.bandwidth import (
+    DEFAULT_BANDWIDTH_CLASSES,
+    BandwidthClass,
+    BandwidthSampler,
+    PeerBandwidth,
+)
+
+__all__ = [
+    "CidrBlock",
+    "IpAllocator",
+    "format_ip",
+    "parse_ip",
+    "DEFAULT_ISPS",
+    "Isp",
+    "IspDatabase",
+    "build_default_database",
+    "LatencyModel",
+    "LinkQuality",
+    "DEFAULT_BANDWIDTH_CLASSES",
+    "BandwidthClass",
+    "BandwidthSampler",
+    "PeerBandwidth",
+]

@@ -1,0 +1,87 @@
+"""Access-link bandwidth classes and per-peer capacity sampling.
+
+The paper notes UUSee's users are mostly ADSL/cable-modem peers whose
+upload capacity exceeds the ~400 Kbps streaming rate, with a minority
+of high-capacity (ethernet/campus) peers — the heterogeneity behind the
+heavy-tailed outdegree distribution of Fig. 4(C).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One access technology: nominal capacities (kbps) and population weight."""
+
+    name: str
+    download_kbps: float
+    upload_kbps: float
+    weight: float
+
+
+#: Default mix.  Weighted mean upload ~= 900 kbps, comfortably above the
+#: 400 kbps stream as the paper observes, with a campus/ethernet tail.
+DEFAULT_BANDWIDTH_CLASSES: tuple[BandwidthClass, ...] = (
+    BandwidthClass("adsl", download_kbps=2048.0, upload_kbps=512.0, weight=0.58),
+    BandwidthClass("cable", download_kbps=4096.0, upload_kbps=768.0, weight=0.24),
+    BandwidthClass("ethernet", download_kbps=10_000.0, upload_kbps=2048.0, weight=0.12),
+    BandwidthClass("campus", download_kbps=20_000.0, upload_kbps=8192.0, weight=0.06),
+)
+
+
+@dataclass(frozen=True)
+class PeerBandwidth:
+    """One peer's drawn capacities."""
+
+    class_name: str
+    download_kbps: float
+    upload_kbps: float
+
+
+class BandwidthSampler:
+    """Seeded sampler: pick a class by weight, jitter capacities ~±20%."""
+
+    def __init__(
+        self,
+        classes: tuple[BandwidthClass, ...] = DEFAULT_BANDWIDTH_CLASSES,
+        *,
+        jitter_sigma: float = 0.18,
+        seed: int = 0,
+    ) -> None:
+        if not classes:
+            raise ValueError("at least one bandwidth class required")
+        total = sum(c.weight for c in classes)
+        if total <= 0:
+            raise ValueError("class weights must be positive")
+        self._classes = classes
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for c in classes:
+            acc += c.weight / total
+            self._cumulative.append(acc)
+        self._jitter_sigma = jitter_sigma
+        self._rng = random.Random(seed)
+
+    def sample(self) -> PeerBandwidth:
+        """Draw one peer's bandwidth."""
+        u = self._rng.random()
+        chosen = self._classes[-1]
+        for c, edge in zip(self._classes, self._cumulative):
+            if u <= edge:
+                chosen = c
+                break
+        jitter = math.exp(self._rng.gauss(0.0, self._jitter_sigma))
+        return PeerBandwidth(
+            class_name=chosen.name,
+            download_kbps=chosen.download_kbps * jitter,
+            upload_kbps=chosen.upload_kbps * jitter,
+        )
+
+    def mean_upload_kbps(self) -> float:
+        """Population-weighted nominal mean upload capacity."""
+        total = sum(c.weight for c in self._classes)
+        return sum(c.upload_kbps * c.weight for c in self._classes) / total

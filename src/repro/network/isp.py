@@ -1,0 +1,181 @@
+"""ISP registry and IP-range -> ISP mapping database.
+
+The paper (Sec. 4.1.2) uses a database from UUSee Inc. that translates
+ranges of IP addresses to ISPs: Chinese IPs map to one of the major
+China ISPs, everything else to a generic overseas code.  This module
+builds an equivalent synthetic database: each ISP owns many scattered
+/12 CIDR blocks, apportioned to the Fig. 2 market shares, and lookups
+are binary searches over the sorted range table — the same mechanics a
+real mapping database needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.network.ip import CidrBlock, IpAllocator
+
+#: Fig. 2 market shares (averaged over the trace period).  The exact pie
+#: is not tabulated in the paper; these values respect its visual rank
+#: order: Telecom dominant, Netcom second, the rest minor but non-zero.
+DEFAULT_SHARES: dict[str, float] = {
+    "China Telecom": 0.42,
+    "China Netcom": 0.24,
+    "China Unicom": 0.07,
+    "China Tietong": 0.05,
+    "China Edu": 0.06,
+    "China Others": 0.07,
+    "Oversea ISPs": 0.09,
+}
+
+OVERSEAS = "Oversea ISPs"
+
+#: Synthetic /8s carved into per-ISP /12 blocks for China ISPs.
+_CHINA_SLASH8S = (58, 59, 60, 61, 110, 111, 112, 113, 114, 115, 116, 117,
+                  118, 119, 120, 121, 202, 210, 211, 218, 219, 220, 221, 222)
+#: Whole /8s owned by the aggregate overseas category.
+_OVERSEAS_SLASH8S = (24, 66, 128, 152, 193, 195)
+
+
+@dataclass(frozen=True)
+class Isp:
+    """One ISP (or the aggregate overseas category) in the registry."""
+
+    name: str
+    share: float
+    is_china: bool
+    blocks: tuple[CidrBlock, ...]
+
+    def allocator(self, *, seed: int = 0) -> IpAllocator:
+        """A fresh address allocator over this ISP's blocks."""
+        return IpAllocator(list(self.blocks), seed=seed)
+
+
+def _apportion_blocks(
+    names: list[str], shares: list[float], num_blocks: int
+) -> list[str]:
+    """Assign ``num_blocks`` slots to names, interleaved, shares respected.
+
+    Uses a running largest-deficit rule: at every step the name whose
+    realised fraction lags its target share the most gets the next block.
+    The result is deterministic and well-mixed (no long runs), so each
+    ISP's address space is scattered across the plan as in reality.
+    """
+    counts = {n: 0 for n in names}
+    order: list[str] = []
+    for step in range(1, num_blocks + 1):
+        deficits = [
+            (share * step - counts[name], share, name)
+            for name, share in zip(names, shares)
+        ]
+        deficits.sort(reverse=True)
+        winner = deficits[0][2]
+        counts[winner] += 1
+        order.append(winner)
+    return order
+
+
+def build_default_registry(
+    shares: dict[str, float] | None = None,
+) -> tuple[Isp, ...]:
+    """The default ISP registry with a synthetic address plan.
+
+    China ISPs share the /12 blocks cut from ``_CHINA_SLASH8S``; the
+    overseas category owns ``_OVERSEAS_SLASH8S`` outright.
+    """
+    shares = dict(DEFAULT_SHARES if shares is None else shares)
+    total = sum(shares.values())
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"shares must sum to 1, got {total}")
+    if OVERSEAS not in shares:
+        raise ValueError(f"registry requires the {OVERSEAS!r} category")
+
+    china_names = [n for n in shares if n != OVERSEAS]
+    china_total = sum(shares[n] for n in china_names)
+    china_blocks: list[CidrBlock] = [
+        CidrBlock((s8 << 24) | (i << 20), 12)
+        for s8 in _CHINA_SLASH8S
+        for i in range(16)
+    ]
+    assignment = _apportion_blocks(
+        china_names,
+        [shares[n] / china_total for n in china_names],
+        len(china_blocks),
+    )
+    blocks_by_isp: dict[str, list[CidrBlock]] = {n: [] for n in china_names}
+    for block, name in zip(china_blocks, assignment):
+        blocks_by_isp[name].append(block)
+
+    isps = [
+        Isp(
+            name=name,
+            share=shares[name],
+            is_china=True,
+            blocks=tuple(blocks_by_isp[name]),
+        )
+        for name in china_names
+    ]
+    isps.append(
+        Isp(
+            name=OVERSEAS,
+            share=shares[OVERSEAS],
+            is_china=False,
+            blocks=tuple(CidrBlock(s8 << 24, 8) for s8 in _OVERSEAS_SLASH8S),
+        )
+    )
+    return tuple(isps)
+
+
+DEFAULT_ISPS: tuple[Isp, ...] = build_default_registry()
+
+
+class IspDatabase:
+    """Sorted-range IP -> ISP lookup (the paper's 'mapping database')."""
+
+    def __init__(self, isps: tuple[Isp, ...] | list[Isp]) -> None:
+        self._isps: dict[str, Isp] = {isp.name: isp for isp in isps}
+        ranges: list[tuple[int, int, str]] = []
+        for isp in isps:
+            for block in isp.blocks:
+                ranges.append((block.base, block.last, isp.name))
+        ranges.sort()
+        for (_, prev_last, prev_name), (start, _, name) in zip(ranges, ranges[1:]):
+            if start <= prev_last:
+                raise ValueError(f"overlapping blocks: {prev_name} / {name}")
+        self._starts = [r[0] for r in ranges]
+        self._ranges = ranges
+
+    @property
+    def isps(self) -> tuple[Isp, ...]:
+        """All ISPs in the registry."""
+        return tuple(self._isps.values())
+
+    def isp(self, name: str) -> Isp:
+        """Look an ISP up by name; raises ``KeyError`` if unknown."""
+        return self._isps[name]
+
+    def lookup(self, address: int) -> str | None:
+        """ISP name owning ``address``, or None if unmapped."""
+        idx = bisect.bisect_right(self._starts, address) - 1
+        if idx < 0:
+            return None
+        start, last, name = self._ranges[idx]
+        if start <= address <= last:
+            return name
+        return None
+
+    def is_china(self, address: int) -> bool:
+        """True when ``address`` maps to a China ISP."""
+        name = self.lookup(address)
+        return name is not None and self._isps[name].is_china
+
+    def same_isp(self, a: int, b: int) -> bool:
+        """True when both addresses map to the same (known) ISP."""
+        isp_a = self.lookup(a)
+        return isp_a is not None and isp_a == self.lookup(b)
+
+
+def build_default_database() -> IspDatabase:
+    """An :class:`IspDatabase` over the default registry."""
+    return IspDatabase(DEFAULT_ISPS)

@@ -1,0 +1,83 @@
+"""Round-trip delay and per-connection TCP throughput model.
+
+The paper attributes ISP-level clustering to one mechanism: connections
+between peers in the same ISP have generally higher throughput and
+smaller delay than those across ISPs, so they are preferentially kept
+as active connections (Sec. 4.2.3).  This model supplies exactly that
+asymmetry: an RTT drawn per link from an ISP-relationship tier plus
+lognormal jitter, and a TCP throughput ceiling that decays with RTT
+(the classic ~1/RTT throughput law for a fixed window and loss rate).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Measured quality of one TCP connection between two peers."""
+
+    rtt_ms: float
+    throughput_kbps: float  # per-connection ceiling
+
+    def score(self) -> float:
+        """Peer-selection utility: higher is better (UUSee measures both)."""
+        return self.throughput_kbps / (1.0 + self.rtt_ms / 100.0)
+
+
+@dataclass(frozen=True)
+class LatencyTiers:
+    """Median RTTs (ms) per ISP relationship tier."""
+
+    intra_isp: float = 25.0
+    inter_china: float = 95.0
+    china_overseas: float = 260.0
+    intra_overseas: float = 160.0
+
+
+class LatencyModel:
+    """Draws per-link RTT and throughput from the tier model.
+
+    ``rtt_sigma`` is the lognormal jitter scale (in log-space); the
+    throughput ceiling is ``window_kbits / rtt`` with multiplicative
+    noise, floored to ``min_throughput_kbps``.
+    """
+
+    def __init__(
+        self,
+        *,
+        tiers: LatencyTiers | None = None,
+        rtt_sigma: float = 0.35,
+        window_kbits: float = 16_000.0,
+        min_throughput_kbps: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        self.tiers = tiers or LatencyTiers()
+        self.rtt_sigma = rtt_sigma
+        self.window_kbits = window_kbits
+        self.min_throughput_kbps = min_throughput_kbps
+        self._rng = random.Random(seed)
+
+    def base_rtt(self, isp_a: str, isp_b: str, *, a_china: bool, b_china: bool) -> float:
+        """Median RTT for the ISP relationship between two endpoints."""
+        if isp_a == isp_b:
+            return self.tiers.intra_isp if a_china else self.tiers.intra_overseas
+        if a_china and b_china:
+            return self.tiers.inter_china
+        if a_china != b_china:
+            return self.tiers.china_overseas
+        return self.tiers.intra_overseas
+
+    def sample_link(
+        self, isp_a: str, isp_b: str, *, a_china: bool = True, b_china: bool = True
+    ) -> LinkQuality:
+        """Draw one link's RTT and throughput ceiling."""
+        median = self.base_rtt(isp_a, isp_b, a_china=a_china, b_china=b_china)
+        rtt = median * math.exp(self._rng.gauss(0.0, self.rtt_sigma))
+        throughput = self.window_kbits / rtt
+        throughput *= math.exp(self._rng.gauss(0.0, 0.25))
+        throughput = max(self.min_throughput_kbps, throughput)
+        return LinkQuality(rtt_ms=rtt, throughput_kbps=throughput)

@@ -1,0 +1,111 @@
+"""A minimal, deterministic discrete-event engine.
+
+Events are (time, sequence) ordered on a binary heap; the sequence
+counter breaks ties in scheduling order, so two runs with the same seed
+execute callbacks in exactly the same order.  Cancellation is lazy
+(cancelled events are skipped when popped), the standard heapq idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventEngine:
+    """Priority-queue event loop with a monotone simulation clock."""
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[ScheduledEvent] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = ScheduledEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next pending event; False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with time <= ``end_time``; clock ends at end_time."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events``); returns count run."""
+        ran = 0
+        while self.step():
+            ran += 1
+            if max_events is not None and ran >= max_events:
+                break
+        return ran

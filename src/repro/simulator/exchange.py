@@ -1,0 +1,574 @@
+"""Partnership dynamics and per-round block exchange.
+
+The simulator advances in fixed exchange rounds (default 600 s).  Within
+a round, every viewer spreads its demand across its active suppliers
+(respecting UUSee's block scheduling, which requests different blocks
+from different partners — modelled as a per-link request cap), and every
+supplier divides its upload capacity among requesters, preferring mutual
+exchangers.  Between rounds, maintenance ticks implement the protocol's
+control plane: dead-partner cleanup, idle-connection pruning, partner
+recommendation gossip, capacity volunteering, supplier refinement, and
+last-resort tracker refresh.
+
+Everything the paper measures emerges here:
+
+- indegree ~= demand / per-link-achieved-rate, spiking near 10 and cut
+  off near demand / min-useful-rate ~= 23 (Fig. 4(B));
+- outdegree follows upload capacity heterogeneity (Fig. 4(C));
+- intra-ISP links win selection because the network model gives them
+  higher throughput (Fig. 6);
+- gossip creates triadic closure, hence clustering (Fig. 7);
+- the reciprocation preference plus mutual usefulness creates bilateral
+  active links (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.network.latency import LatencyModel
+from repro.simulator.channel import ChannelCatalogue
+from repro.simulator.failures import OutageSchedule
+from repro.simulator.peer import Link, Peer
+from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
+from repro.simulator.tracker import Tracker
+
+
+@dataclass
+class RoundStats:
+    """Aggregate outcome of one exchange round (for tests/monitoring)."""
+
+    time: float = 0.0
+    viewers: int = 0
+    total_received_kbps: float = 0.0
+    satisfied: int = 0  # viewers receiving >= 90% of the stream rate
+    per_channel_viewers: dict[int, int] = field(default_factory=dict)
+    per_channel_satisfied: dict[int, int] = field(default_factory=dict)
+
+    def satisfied_fraction(self, channel_id: int | None = None) -> float:
+        if channel_id is None:
+            return self.satisfied / self.viewers if self.viewers else 0.0
+        viewers = self.per_channel_viewers.get(channel_id, 0)
+        if not viewers:
+            return 0.0
+        return self.per_channel_satisfied.get(channel_id, 0) / viewers
+
+
+class ExchangeEngine:
+    """Implements partnerships, selection, ticks and exchange rounds."""
+
+    def __init__(
+        self,
+        *,
+        peers: dict[int, Peer],
+        catalogue: ChannelCatalogue,
+        tracker: Tracker,
+        latency: LatencyModel,
+        config: ProtocolConfig,
+        policy: SelectionPolicy = SelectionPolicy.UUSEE,
+        seed: int = 0,
+        outages: OutageSchedule | None = None,
+    ) -> None:
+        self.peers = peers
+        self.catalogue = catalogue
+        self.tracker = tracker
+        self.latency = latency
+        self.config = config
+        self.policy = policy
+        self.outages = outages or OutageSchedule()
+        self.rng = random.Random(seed)
+        # links are mutual; last_active is tracked via Link.established_at
+        # updates inside _record_transfer.
+
+    # -- partnership management ---------------------------------------------
+
+    def connect(self, a: Peer, b: Peer, now: float) -> bool:
+        """Establish a mutual partnership; False if refused or duplicate.
+
+        The callee refuses when its partner list is full (servers have a
+        higher ceiling since they exist to accept connections).
+        """
+        if a.peer_id == b.peer_id:
+            return False
+        if b.peer_id in a.partners:
+            return False
+        limit_b = self.config.max_partners * (4 if b.is_server else 1)
+        if len(b.partners) >= limit_b:
+            return False
+        if len(a.partners) >= self.config.max_partners:
+            return False
+        quality = self.latency.sample_link(
+            a.isp, b.isp, a_china=a.is_china, b_china=b.is_china
+        )
+        link_ab = Link(
+            quality.rtt_ms,
+            quality.throughput_kbps,
+            established_at=now,
+            partner_ip=b.ip,
+        )
+        link_ba = Link(
+            quality.rtt_ms,
+            quality.throughput_kbps,
+            established_at=now,
+            partner_ip=a.ip,
+        )
+        # Conservative initial throughput estimate: a fresh link must rank
+        # *below* proven-good links (else the steady inbound-partner churn
+        # makes request priority thrash across unproven links every round),
+        # but high enough to be tried when proven links under-deliver.
+        rate = self.catalogue.get(a.channel_id).rate_kbps
+        # ... and never below the useful-link floor: the demand budget
+        # counts every supplier as contributing at least min_useful, so
+        # starting fresh links lower would make peers over-provision past
+        # the Fig. 4(B) indegree ceiling.
+        neutral = min(
+            max(
+                0.6 * self.config.request_cap_kbps(rate),
+                self.config.min_useful_link_kbps,
+            ),
+            quality.throughput_kbps * 0.5,
+        )
+        link_ab.est_kbps = neutral
+        link_ba.est_kbps = neutral
+        a.add_partner(b.peer_id, link_ab)
+        b.add_partner(a.peer_id, link_ba)
+        return True
+
+    def disconnect(self, a: Peer, partner_id: int) -> None:
+        """Tear down both ends of a partnership (if the partner is alive)."""
+        a.remove_partner(partner_id)
+        other = self.peers.get(partner_id)
+        if other is not None:
+            other.remove_partner(a.peer_id)
+
+    def bootstrap_peer(self, peer: Peer, now: float) -> int:
+        """Tracker bootstrap + initial supplier selection; returns #partners."""
+        candidate_ids = self.tracker.bootstrap(
+            peer.channel_id, peer.peer_id, self.config.bootstrap_partners
+        )
+        connected = 0
+        for pid in candidate_ids:
+            other = self.peers.get(pid)
+            if other is not None and self.connect(peer, other, now):
+                connected += 1
+        self.select_suppliers(peer)
+        return connected
+
+    # -- supplier selection ---------------------------------------------------
+
+    def _expected_link_rate(self, link: Link, cap_kbps: float) -> float:
+        return min(link.est_kbps, cap_kbps)
+
+    @staticmethod
+    def _rtt_penalty(rtt_ms: float) -> float:
+        """Quadratic RTT penalty: UUSee measures round-trip delay per
+        connection and strongly prefers nearby (in practice intra-ISP)
+        partners; block requests over high-RTT paths also pipeline badly."""
+        return 1.0 + (rtt_ms / 60.0) ** 2
+
+    def _candidate_score(self, peer: Peer, pid: int, link: Link) -> float:
+        score = link.est_kbps / self._rtt_penalty(link.rtt_ms)
+        other = self.peers.get(pid)
+        if other is not None and peer.peer_id in other.suppliers:
+            # mutual exchange preference
+            score *= 1.0 + self.config.reciprocation_bonus
+        return score
+
+    def select_suppliers(self, peer: Peer) -> None:
+        """(Re)build the active supplier set from the partner list."""
+        if peer.is_server:
+            return
+        cfg = self.config
+        rate = self.catalogue.get(peer.channel_id).rate_kbps
+        demand = cfg.demand_kbps(rate) * cfg.standby_surplus
+        cap = cfg.request_cap_kbps(rate)
+
+        candidates: list[tuple[float, int, Link]] = []
+        for pid, link in peer.partners.items():
+            other = self.peers.get(pid)
+            if other is None:
+                continue
+            if self.policy is SelectionPolicy.TREE:
+                if other.depth >= peer.depth and not other.is_server:
+                    continue
+                score = link.est_kbps / self._rtt_penalty(link.rtt_ms)
+            elif self.policy is SelectionPolicy.RANDOM:
+                score = self.rng.random()
+            else:
+                score = self._candidate_score(peer, pid, link)
+            candidates.append((score, pid, link))
+        candidates.sort(key=lambda t: (-t[0], t[1]))
+
+        chosen: set[int] = set()
+        expected = 0.0
+        for _, pid, link in candidates:
+            if expected >= demand or len(chosen) >= cfg.max_active_suppliers:
+                break
+            contribution = max(
+                cfg.min_useful_link_kbps, self._expected_link_rate(link, cap)
+            )
+            chosen.add(pid)
+            expected += contribution
+        peer.suppliers = chosen
+
+    def refine_suppliers(self, peer: Peer, *, sample_size: int = 10) -> None:
+        """Incremental improvement: drop useless suppliers, try new ones.
+
+        Cheaper than full reselection and closer to how a running client
+        behaves: it reacts to measured throughput rather than re-ranking
+        everything.
+        """
+        if peer.is_server:
+            return
+        cfg = self.config
+        rate = self.catalogue.get(peer.channel_id).rate_kbps
+        demand = cfg.demand_kbps(rate) * cfg.standby_surplus
+        cap = cfg.request_cap_kbps(rate)
+
+        # Drop dead suppliers and those measured below the useful floor.
+        for pid in list(peer.suppliers):
+            other = self.peers.get(pid)
+            link = peer.partners.get(pid)
+            if other is None or link is None:
+                peer.suppliers.discard(pid)
+            elif link.est_kbps < cfg.min_useful_link_kbps:
+                peer.suppliers.discard(pid)
+
+        expected = sum(
+            self._expected_link_rate(peer.partners[pid], cap)
+            for pid in peer.suppliers
+            if pid in peer.partners
+        )
+        if expected >= demand or len(peer.suppliers) >= cfg.max_active_suppliers:
+            return
+
+        # Try the best of a small random sample of non-supplier partners.
+        non_suppliers = [
+            pid for pid in peer.partners if pid not in peer.suppliers
+        ]
+        if not non_suppliers:
+            return
+        if len(non_suppliers) > sample_size:
+            pool = self.rng.sample(non_suppliers, sample_size)
+        else:
+            pool = non_suppliers
+        scored: list[tuple[float, int]] = []
+        for pid in pool:
+            other = self.peers.get(pid)
+            if other is None:
+                continue
+            if self.policy is SelectionPolicy.TREE and (
+                other.depth >= peer.depth and not other.is_server
+            ):
+                continue
+            link = peer.partners[pid]
+            if self.policy is SelectionPolicy.RANDOM:
+                scored.append((self.rng.random(), pid))
+            else:
+                scored.append((self._candidate_score(peer, pid, link), pid))
+        scored.sort(reverse=True)
+        for _, pid in scored:
+            if expected >= demand or len(peer.suppliers) >= cfg.max_active_suppliers:
+                break
+            link = peer.partners[pid]
+            peer.suppliers.add(pid)
+            expected += max(
+                cfg.min_useful_link_kbps, self._expected_link_rate(link, cap)
+            )
+
+    # -- maintenance tick -------------------------------------------------------
+
+    def maintenance_tick(self, peer: Peer, now: float) -> None:
+        """Control-plane work a client does every few minutes."""
+        cfg = self.config
+        self._clean_dead_partners(peer)
+        self._recover_estimates(peer)
+        self._prune_idle_partners(peer, now)
+        self._gossip(peer, now)
+        self.refine_suppliers(peer)
+        self._update_volunteering(peer, now)
+        self._starvation_check(peer, now)
+        peer.last_tick = now
+
+    def _clean_dead_partners(self, peer: Peer) -> None:
+        dead = [pid for pid in peer.partners if pid not in self.peers]
+        for pid in dead:
+            peer.remove_partner(pid)
+
+    def _recover_estimates(self, peer: Peer) -> None:
+        """Let idle links' estimates drift back toward the request cap.
+
+        Peers exchange buffer maps with all partners periodically, so a
+        link that was measured slow while its supplier was overloaded is
+        eventually re-probed.  Without recovery, a transiently congested
+        supplier would never be tried again even after it drained.
+        """
+        rate = self.catalogue.get(peer.channel_id).rate_kbps
+        cap = self.config.request_cap_kbps(rate)
+        for link in peer.partners.values():
+            # recover only to the conservative fresh-link level: a link
+            # must re-earn a top rank through measured delivery
+            target = min(0.6 * cap, 0.7 * link.cap_kbps)
+            if link.est_kbps < target:
+                link.est_kbps += 0.2 * (target - link.est_kbps)
+
+    def _prune_idle_partners(self, peer: Peer, now: float) -> None:
+        """Close TCP connections with no segment flow for a while.
+
+        This is what keeps partner counts near the *active* mesh size
+        (the paper's Fig. 4(A) spike at 10-25, far below the initial 50):
+        bootstrap and gossip fan out optimistically, and idle links decay.
+        """
+        idle_timeout = 1.5 * self.config.report_interval_s
+        victims = []
+        for pid, link in peer.partners.items():
+            if pid in peer.suppliers:
+                continue
+            if now - link.established_at > idle_timeout:
+                victims.append(pid)
+        for pid in victims:
+            self.disconnect(peer, pid)
+
+    def _gossip(self, peer: Peer, now: float) -> None:
+        """Ask one partner for recommendations (triadic closure)."""
+        if not peer.partners or peer.is_server:
+            return
+        alive_partners = [
+            pid for pid in peer.partners if pid in self.peers
+        ]
+        if not alive_partners:
+            return
+        helper_id = self.rng.choice(alive_partners)
+        helper = self.peers[helper_id]
+        their_ids = [
+            pid
+            for pid in helper.partners
+            if pid != peer.peer_id and pid not in peer.partners and pid in self.peers
+        ]
+        if not their_ids:
+            return
+        # The helper recommends the partners most likely to be able to
+        # assist (paper Sec. 3.1): in practice its own best-RTT partners,
+        # which are largely in its own ISP — recommendations therefore
+        # propagate intra-ISP structure and close triangles.
+        k = min(self.config.gossip_fanout, len(their_ids))
+        pool = (
+            self.rng.sample(their_ids, min(2 * k, len(their_ids)))
+            if len(their_ids) > 2 * k
+            else their_ids
+        )
+        if self.policy is not SelectionPolicy.RANDOM:
+            pool = sorted(pool, key=lambda pid: helper.partners[pid].rtt_ms)
+        for pid in pool[:k]:
+            other = self.peers.get(pid)
+            if other is not None and not other.is_server:
+                self.connect(peer, other, now)
+
+    def _update_volunteering(self, peer: Peer, now: float = 0.0) -> None:
+        """Inform the tracker when sending throughput is below capacity.
+
+        Per the paper this depends only on spare upload capacity; what a
+        low-buffer peer can actually serve is limited separately by its
+        content availability (see ``_content_factor``).
+        """
+        if self.outages.tracker_down(now):
+            return  # the tracker is unreachable; try again next tick
+        spare = peer.spare_upload_kbps()
+        threshold = self.config.volunteer_spare_fraction * peer.upload_kbps
+        should = spare >= threshold
+        if should:
+            # Re-asserted every tick: the tracker de-lists volunteers once
+            # their handout budget is consumed, and re-volunteering resets it.
+            self.tracker.volunteer(peer.channel_id, peer.peer_id)
+            peer.volunteered = True
+        elif peer.volunteered:
+            self.tracker.unvolunteer(peer.channel_id, peer.peer_id)
+            peer.volunteered = False
+
+    def _starvation_check(self, peer: Peer, now: float = 0.0) -> None:
+        """Last resort: re-contact the tracker after sustained starvation."""
+        if peer.is_server:
+            return
+        if peer.health < self.config.starvation_health:
+            peer.starving_ticks += 1
+        else:
+            peer.starving_ticks = 0
+            return
+        if peer.starving_ticks >= self.config.starvation_ticks:
+            if self.outages.tracker_down(now):
+                return  # keep starving; retry once the tracker is back
+            peer.starving_ticks = 0
+            want = self.config.bootstrap_partners - len(peer.partners)
+            if want <= 0:
+                return
+            for pid in self.tracker.refresh(peer.channel_id, peer.peer_id, want):
+                other = self.peers.get(pid)
+                if other is not None:
+                    self.connect(peer, other, peer.last_tick)
+            self.select_suppliers(peer)
+
+    # -- exchange round -------------------------------------------------------
+
+    def run_round(self, now: float, duration: float) -> RoundStats:
+        """One exchange round: demand spreading, allocation, accounting."""
+        cfg = self.config
+        stats = RoundStats(time=now)
+
+        # Pass 1: each viewer requests from its suppliers.
+        requests: dict[int, list[tuple[Peer, Link, float]]] = {}
+        for peer in self.peers.values():
+            if peer.is_server:
+                continue
+            rate = self.catalogue.get(peer.channel_id).rate_kbps
+            cap = cfg.request_cap_kbps(rate)
+            remaining = cfg.demand_kbps(rate)
+            dead: list[int] = []
+            # Request priority follows the selection score (measured
+            # throughput discounted by RTT): low-RTT — in practice
+            # intra-ISP — links are drawn on first, so they are the ones
+            # that become *active*, exactly the paper's explanation of
+            # ISP clustering (Sec. 4.2.3).  The RANDOM ablation removes
+            # the bias here too (stable pseudo-random order per link).
+            blind = self.policy is SelectionPolicy.RANDOM
+            supplier_links: list[tuple[float, int, Link]] = []
+            for pid in peer.suppliers:
+                link = peer.partners.get(pid)
+                if link is None or pid not in self.peers:
+                    dead.append(pid)
+                    continue
+                if blind:
+                    priority = float(hash((peer.peer_id, pid)) % 1_000_003)
+                else:
+                    priority = link.est_kbps / self._rtt_penalty(link.rtt_ms)
+                supplier_links.append((priority, pid, link))
+            for pid in dead:
+                peer.suppliers.discard(pid)
+            supplier_links.sort(key=lambda t: (-t[0], t[1]))
+            for _, pid, link in supplier_links:
+                if remaining <= 0.0:
+                    break
+                req = min(cap, link.cap_kbps, remaining)
+                if req <= 0.0:
+                    continue
+                requests.setdefault(pid, []).append((peer, link, req))
+                # Budget against the *measured* delivery estimate (floored
+                # at the useful minimum), not the optimistic request: a
+                # peer whose suppliers under-deliver keeps asking further
+                # suppliers, up to demand / min_useful ~= 23 of them — the
+                # emergent indegree ceiling of Fig. 4(B).
+                remaining -= min(req, max(link.est_kbps, cfg.min_useful_link_kbps))
+
+        # Pass 2: suppliers allocate capacity, preferring mutual exchangers.
+        received: dict[int, float] = {}
+        for supplier_id, reqs in requests.items():
+            supplier = self.peers.get(supplier_id)
+            if supplier is None:
+                continue
+            weights: list[float] = []
+            for requester, _, req in reqs:
+                mutual = requester.peer_id in supplier.suppliers
+                weights.append(
+                    req * (1.0 + cfg.reciprocation_bonus if mutual else 1.0)
+                )
+            total_weighted = sum(weights)
+            total_requested = sum(req for _, _, req in reqs)
+            if supplier.is_server and self.outages.servers_down(now):
+                capacity = 0.0  # origin offline: nothing to serve
+            else:
+                capacity = supplier.upload_kbps * self._content_factor(supplier)
+            sent_total = 0.0
+            if total_requested <= capacity:
+                scale = 1.0
+            else:
+                scale = capacity / total_weighted if total_weighted else 0.0
+            for (requester, link, req), weight in zip(reqs, weights):
+                achieved = req if total_requested <= capacity else min(
+                    req, weight * scale
+                )
+                if achieved <= 0.0:
+                    continue
+                self._record_transfer(
+                    supplier, requester, link, achieved, duration, now
+                )
+                sent_total += achieved
+                received[requester.peer_id] = (
+                    received.get(requester.peer_id, 0.0) + achieved
+                )
+            supplier.sent_rate_kbps = sent_total
+
+        # Suppliers with no requests this round sent nothing.
+        for peer in self.peers.values():
+            if peer.peer_id not in requests:
+                peer.sent_rate_kbps = 0.0
+
+        # Pass 3: viewer-side accounting (health, buffer, depth, stats).
+        for peer in self.peers.values():
+            if peer.is_server:
+                continue
+            rate = self.catalogue.get(peer.channel_id).rate_kbps
+            got = received.get(peer.peer_id, 0.0)
+            peer.recv_rate_kbps = got
+            ratio = min(1.0, got / rate) if rate else 0.0
+            hs = cfg.health_smoothing
+            peer.health = (1.0 - hs) * peer.health + hs * ratio
+            window_s = 120.0 * cfg.segment_seconds
+            peer.buffer_fill = min(
+                1.0,
+                max(0.0, peer.buffer_fill + (got - rate) * duration / (rate * window_s)),
+            )
+            peer.playback_position += int(duration / cfg.segment_seconds)
+            self._update_depth(peer)
+            stats.viewers += 1
+            stats.total_received_kbps += got
+            stats.per_channel_viewers[peer.channel_id] = (
+                stats.per_channel_viewers.get(peer.channel_id, 0) + 1
+            )
+            if got >= 0.9 * rate:
+                stats.satisfied += 1
+                stats.per_channel_satisfied[peer.channel_id] = (
+                    stats.per_channel_satisfied.get(peer.channel_id, 0) + 1
+                )
+        return stats
+
+    @staticmethod
+    def _content_factor(supplier: Peer) -> float:
+        """How much of its upload a peer can usefully serve.
+
+        A peer whose own playback is healthy holds (and keeps refreshing)
+        essentially the whole sliding window, so nearly all its capacity
+        is useful to partners; a starving peer has little to offer.
+        Servers always hold the full window.
+        """
+        if supplier.is_server:
+            return 1.0
+        return 0.30 + 0.70 * supplier.health
+
+    def _record_transfer(
+        self,
+        supplier: Peer,
+        requester: Peer,
+        requester_link: Link,
+        rate_kbps: float,
+        duration: float,
+        now: float,
+    ) -> None:
+        cfg = self.config
+        stream_rate = self.catalogue.get(requester.channel_id).rate_kbps
+        segment_kbit = stream_rate * cfg.segment_seconds
+        segments = rate_kbps * duration / segment_kbit
+        requester_link.recv_segments += segments
+        requester_link.observe_throughput(rate_kbps, cfg.estimate_smoothing)
+        requester_link.established_at = now  # carries 'last active' forward
+        supplier_link = supplier.partners.get(requester.peer_id)
+        if supplier_link is not None:
+            supplier_link.sent_segments += segments
+            supplier_link.established_at = now
+
+    def _update_depth(self, peer: Peer) -> None:
+        best = 64
+        for pid in peer.suppliers:
+            other = self.peers.get(pid)
+            if other is not None and other.depth + 1 < best:
+                best = other.depth + 1
+        peer.depth = best

@@ -1,0 +1,61 @@
+"""Failure injection: infrastructure outages during a run.
+
+The paper's system keeps streaming through flash crowds; a natural
+robustness question (and a standard distributed-systems test) is what
+happens when the *infrastructure* fails instead: tracking servers
+unreachable (no bootstrap, no refresh) or streaming servers down (no
+origin supply).  ``OutageSchedule`` holds the windows;
+:class:`UUSeeSystem` consults it each round.
+
+Expected behaviour, asserted in tests: during a tracker outage new
+peers join with empty partner lists and only recover through gossip,
+so quality dips for newcomers and recovers after the outage; during a
+server outage the mesh keeps redistributing whatever peers hold (the
+paper's reciprocity argument) and recovers when origins return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One failure window [start, end) in simulation seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("outage must end after it starts")
+
+    def active(self, now: float) -> bool:
+        """Whether the component is down at ``now``."""
+        return self.start <= now < self.end
+
+    @property
+    def duration(self) -> float:
+        """Outage length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class OutageSchedule:
+    """Failure windows for the tracker farm and the streaming servers."""
+
+    tracker_outages: list[Outage] = field(default_factory=list)
+    server_outages: list[Outage] = field(default_factory=list)
+
+    def tracker_down(self, now: float) -> bool:
+        """True while no tracking server is reachable."""
+        return any(o.active(now) for o in self.tracker_outages)
+
+    def servers_down(self, now: float) -> bool:
+        """True while the streaming origin servers are offline."""
+        return any(o.active(now) for o in self.server_outages)
+
+    @property
+    def empty(self) -> bool:
+        """No failures scheduled."""
+        return not self.tracker_outages and not self.server_outages

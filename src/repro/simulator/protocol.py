@@ -1,0 +1,82 @@
+"""UUSee protocol parameters (paper Sec. 3.1) and selection policies.
+
+Only the starred constants are stated in the paper; the rest are tuning
+knobs of the reconstruction, each documented with the behaviour it
+controls.  DESIGN.md records which figure each knob influences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SelectionPolicy(enum.Enum):
+    """How peers pick active supplying partners.
+
+    UUSEE — measured-quality greedy selection with a reciprocation
+    preference (the real protocol, per the paper).
+    RANDOM — uniform choice among partners; ablation that should destroy
+    ISP clustering (DESIGN.md Sec. 4).
+    TREE — only partners strictly closer to the streaming server may
+    supply; ablation that should drive edge reciprocity negative.
+    """
+
+    UUSEE = "uusee"
+    RANDOM = "random"
+    TREE = "tree"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """All protocol constants, with paper-stated values starred."""
+
+    # -- partnership ------------------------------------------------------
+    bootstrap_partners: int = 50  # * initial partner set 'up to 50'
+    max_partners: int = 150  # partner list capacity
+    gossip_interval_s: float = 300.0  # maintenance tick period
+    gossip_fanout: int = 8  # partners recommended per exchange
+
+    # -- active supplier selection ----------------------------------------
+    max_active_suppliers: int = 30  # * 'selects around 30 most suitable'
+    demand_surplus: float = 1.15  # request rate = surplus * stream rate
+    standby_surplus: float = 1.6  # selection over-provisions; extra links
+    #   are standby: requested only when better links under-deliver, so
+    #   the *active* indegree stays near demand / per-link rate (~10).
+    per_link_request_cap_fraction: float = 0.15  # block spread across links
+    min_useful_link_kbps: float = 20.0  # below this, a supplier is dropped
+    reciprocation_bonus: float = 0.8  # score boost for mutual exchange
+    estimate_smoothing: float = 0.7  # EWMA for measured link throughput
+
+    # -- reporting (the measurement methodology, Sec. 3.2) -----------------
+    first_report_delay_s: float = 1_200.0  # * first report after 20 min
+    report_interval_s: float = 600.0  # * then once every 10 min
+    active_partner_segments: int = 10  # * active-link threshold
+
+    # -- volunteering and last-resort tracker contact ----------------------
+    volunteer_spare_fraction: float = 0.35  # spare upload to volunteer;
+    #   a high bar concentrates volunteering on high-capacity peers, which
+    #   become the partner-list hubs behind Fig. 4(A)'s heavy tail.
+    starvation_health: float = 0.85  # health below this is 'starving'
+    starvation_ticks: int = 2  # sustained ticks before tracker re-contact
+
+    # -- media / rounds -----------------------------------------------------
+    segment_seconds: float = 1.0  # one media segment = 1 s of stream
+    round_seconds: float = 600.0  # exchange-round aggregation step
+    health_smoothing: float = 0.4  # EWMA for playback health
+
+    def request_cap_kbps(self, stream_rate_kbps: float) -> float:
+        """Maximum rate requested from one supplier."""
+        return self.per_link_request_cap_fraction * stream_rate_kbps
+
+    def demand_kbps(self, stream_rate_kbps: float) -> float:
+        """Total download rate a peer tries to line up."""
+        return self.demand_surplus * stream_rate_kbps
+
+    def indegree_ceiling(self, stream_rate_kbps: float) -> float:
+        """Emergent indegree cut-off: demand / weakest useful link.
+
+        With default constants this is 1.15 * 400 / 20 = 23 — the abrupt
+        drop the paper observes in Fig. 4(B).
+        """
+        return self.demand_kbps(stream_rate_kbps) / self.min_useful_link_kbps

@@ -1,0 +1,300 @@
+"""Top-level UUSee deployment: network + workload + protocol + tracing.
+
+``UUSeeSystem`` owns every component — ISP address plan, latency and
+bandwidth models, channel catalogue, tracker, streaming servers, the
+exchange engine, the arrival/churn workload and the trace server — and
+advances them in fixed exchange rounds on the discrete-event engine.
+
+Typical use::
+
+    config = SystemConfig(base_concurrency=800, seed=7)
+    store = InMemoryTraceStore()
+    system = UUSeeSystem(config, store)
+    system.run(days=2)
+
+after which ``store`` holds a Magellan-style trace ready for
+``repro.core`` analytics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.network.bandwidth import BandwidthSampler
+from repro.network.ip import CidrBlock, IpAllocator
+from repro.network.isp import DEFAULT_ISPS, Isp, IspDatabase
+from repro.network.latency import LatencyModel
+from repro.simulator.channel import ChannelCatalogue, default_catalogue
+from repro.simulator.engine import EventEngine
+from repro.simulator.exchange import ExchangeEngine, RoundStats
+from repro.simulator.failures import OutageSchedule
+from repro.simulator.peer import Peer
+from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
+from repro.simulator.tracker import Tracker, TrackerPool
+from repro.traces.reporter import build_report
+from repro.traces.server import TraceServer
+from repro.traces.store import TraceStore
+from repro.workloads.churn import SessionDurationModel
+from repro.workloads.flashcrowd import FlashCrowdEvent
+from repro.workloads.population import ArrivalProcess, PopulationModel
+
+#: Dedicated address space for UUSee's streaming servers; deliberately
+#: outside every ISP block so the mapping database reports them as
+#: unmapped (they are infrastructure, not peers).
+SERVER_BLOCK = CidrBlock.parse("8.8.0.0/16")
+SERVER_ISP = "UUSee Servers"
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to reproduce a run bit-for-bit."""
+
+    seed: int = 0
+    base_concurrency: float = 1_000.0
+    flash_crowd: FlashCrowdEvent | None = field(default_factory=FlashCrowdEvent)
+    weekend_boost: float = 1.07
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    policy: SelectionPolicy = SelectionPolicy.UUSEE
+    sessions: SessionDurationModel = field(default_factory=SessionDurationModel)
+    num_trackers: int = 1  # UUSee runs a tracker farm; 1 is equivalent
+    #   for the topology metrics, >1 partitions the volunteer view
+    outages: OutageSchedule = field(default_factory=OutageSchedule)
+    servers_per_channel: int = 1
+    server_upload_kbps: float = 24_000.0
+    trace_loss_rate: float = 0.01
+
+    def population(self) -> PopulationModel:
+        """The target-population model this config describes."""
+        return PopulationModel(
+            base_concurrency=self.base_concurrency,
+            weekend_boost=self.weekend_boost,
+            flash_crowd=self.flash_crowd,
+        )
+
+
+class UUSeeSystem:
+    """A complete simulated UUSee deployment."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        store: TraceStore,
+        *,
+        catalogue: ChannelCatalogue | None = None,
+        isps: tuple[Isp, ...] = DEFAULT_ISPS,
+    ) -> None:
+        self.config = config
+        master = random.Random(config.seed)
+        seed_for = lambda: master.randrange(2**62)
+
+        self.catalogue = catalogue or default_catalogue()
+        self.isps = isps
+        self.isp_db = IspDatabase(isps)
+        self.latency = LatencyModel(seed=seed_for())
+        self.bandwidth = BandwidthSampler(seed=seed_for())
+        self.engine = EventEngine()
+        if config.num_trackers > 1:
+            self.tracker: Tracker | TrackerPool = TrackerPool(
+                config.num_trackers, seed=seed_for()
+            )
+        else:
+            self.tracker = Tracker(seed=seed_for())
+        self.trace_server = TraceServer(
+            store, loss_rate=config.trace_loss_rate, seed=seed_for()
+        )
+        self.arrivals = ArrivalProcess(
+            config.population(),
+            config.sessions,
+            seed=seed_for(),
+            lifetime_quantum_s=config.protocol.round_seconds,
+        )
+        self.peers: dict[int, Peer] = {}
+        self.exchange = ExchangeEngine(
+            peers=self.peers,
+            catalogue=self.catalogue,
+            tracker=self.tracker,
+            latency=self.latency,
+            config=config.protocol,
+            policy=config.policy,
+            seed=seed_for(),
+            outages=config.outages,
+        )
+        self._rng = random.Random(seed_for())
+        self._allocators: dict[str, IpAllocator] = {
+            isp.name: isp.allocator(seed=seed_for()) for isp in isps
+        }
+        self._server_allocator = IpAllocator([SERVER_BLOCK], seed=seed_for())
+        self._isp_cumulative: list[tuple[float, Isp]] = []
+        acc = 0.0
+        for isp in isps:
+            acc += isp.share
+            self._isp_cumulative.append((acc, isp))
+        self._departures: list[tuple[float, int]] = []
+        self._next_peer_id = 1
+        self.round_stats: list[RoundStats] = []
+        self.total_arrivals = 0
+        self.total_departures = 0
+        self._create_servers()
+
+    # -- construction ------------------------------------------------------
+
+    def _create_servers(self) -> None:
+        for channel in self.catalogue:
+            for _ in range(self.config.servers_per_channel):
+                peer_id = self._next_peer_id
+                self._next_peer_id += 1
+                server = Peer(
+                    peer_id,
+                    ip=self._server_allocator.allocate(),
+                    isp=SERVER_ISP,
+                    is_china=True,  # servers sit in well-connected POPs
+                    channel_id=channel.channel_id,
+                    upload_kbps=self.config.server_upload_kbps,
+                    download_kbps=self.config.server_upload_kbps,
+                    class_name="server",
+                    join_time=0.0,
+                    depart_time=float("inf"),
+                    is_server=True,
+                )
+                server.health = 1.0
+                server.buffer_fill = 1.0
+                self.peers[peer_id] = server
+                self.tracker.add_server(channel.channel_id, peer_id)
+                self.tracker.register(channel.channel_id, peer_id)
+                self.tracker.volunteer(channel.channel_id, peer_id)
+                server.volunteered = True
+
+    # -- run loop ----------------------------------------------------------
+
+    def run(self, *, seconds: float | None = None, days: float | None = None) -> None:
+        """Advance the simulation by the given span (cumulative)."""
+        if (seconds is None) == (days is None):
+            raise ValueError("pass exactly one of seconds/days")
+        span = seconds if seconds is not None else days * 86_400.0
+        end = self.engine.now + span
+        dt = self.config.protocol.round_seconds
+        while self.engine.now < end - 1e-9:
+            self._round(dt)
+            self.engine.run_until(self.engine.now + dt)
+
+    def _round(self, dt: float) -> None:
+        now = self.engine.now
+        self._process_departures(now)
+        self._process_arrivals(now, dt)
+        self._run_ticks(now)
+        stats = self.exchange.run_round(now, dt)
+        self.round_stats.append(stats)
+        self._emit_reports(now + dt)
+
+    # -- membership ----------------------------------------------------------
+
+    def _choose_isp(self) -> Isp:
+        u = self._rng.random()
+        for edge, isp in self._isp_cumulative:
+            if u <= edge:
+                return isp
+        return self._isp_cumulative[-1][1]
+
+    def _process_arrivals(self, now: float, dt: float) -> None:
+        for when in self.arrivals.arrival_times_in(now, dt):
+            self._admit_peer(when, now)
+
+    def _admit_peer(self, join_time: float, now: float) -> Peer:
+        isp = self._choose_isp()
+        bw = self.bandwidth.sample()
+        channel = self.catalogue.sample(self._rng)
+        duration = self.arrivals.sample_session()
+        peer_id = self._next_peer_id
+        self._next_peer_id += 1
+        peer = Peer(
+            peer_id,
+            ip=self._allocators[isp.name].allocate(),
+            isp=isp.name,
+            is_china=isp.is_china,
+            channel_id=channel.channel_id,
+            upload_kbps=bw.upload_kbps,
+            download_kbps=bw.download_kbps,
+            class_name=bw.class_name,
+            join_time=join_time,
+            depart_time=join_time + duration,
+        )
+        peer.next_report = join_time + self.config.protocol.first_report_delay_s
+        # Spread maintenance ticks uniformly across the tick period.
+        peer.last_tick = join_time - self._rng.uniform(
+            0.0, self.config.protocol.gossip_interval_s
+        )
+        self.peers[peer_id] = peer
+        if self.config.outages.tracker_down(now):
+            # tracking servers unreachable: the client joins with an empty
+            # partner list and can only discover the mesh through gossip
+            # (once someone connects to it) or by retrying the tracker.
+            peer.starving_ticks = self.config.protocol.starvation_ticks
+        else:
+            self.tracker.register(channel.channel_id, peer_id)
+            self.exchange.bootstrap_peer(peer, now)
+        heapq.heappush(self._departures, (peer.depart_time, peer_id))
+        self.total_arrivals += 1
+        return peer
+
+    def _process_departures(self, now: float) -> None:
+        while self._departures and self._departures[0][0] <= now:
+            _, peer_id = heapq.heappop(self._departures)
+            peer = self.peers.pop(peer_id, None)
+            if peer is None:
+                continue
+            self.tracker.unregister(peer.channel_id, peer_id)
+            self.total_departures += 1
+            # Partners discover the departure lazily at their next tick;
+            # the trace keeps the stale entries, exactly as real partner
+            # lists keep recently-departed transients.
+
+    # -- control plane ----------------------------------------------------------
+
+    def _run_ticks(self, now: float) -> None:
+        interval = self.config.protocol.gossip_interval_s
+        for peer in list(self.peers.values()):
+            if peer.peer_id not in self.peers:
+                continue
+            if now - peer.last_tick >= interval:
+                self.exchange.maintenance_tick(peer, now)
+
+    # -- measurement -----------------------------------------------------------
+
+    def _emit_reports(self, cutoff: float) -> None:
+        interval = self.config.protocol.report_interval_s
+        for peer in self.peers.values():
+            if peer.is_server:
+                continue
+            # Strictly before the cutoff: a report due exactly at the round
+            # boundary belongs to the next round, which keeps the emitted
+            # trace non-decreasing across report windows.
+            while peer.next_report < cutoff:
+                report = build_report(peer, peer.next_report)
+                self.trace_server.receive(report)
+                peer.next_report += interval
+
+    # -- inspection helpers ------------------------------------------------------
+
+    def concurrent_peers(self) -> int:
+        """Online viewers right now (servers excluded)."""
+        return sum(1 for p in self.peers.values() if not p.is_server)
+
+    def stable_peers(self) -> int:
+        """Online viewers old enough to have reported at least once."""
+        now = self.engine.now
+        first = self.config.protocol.first_report_delay_s
+        return sum(
+            1
+            for p in self.peers.values()
+            if not p.is_server and p.age(now) >= first
+        )
+
+    def peers_in_channel(self, channel_id: int) -> int:
+        """Online viewers currently watching ``channel_id``."""
+        return sum(
+            1
+            for p in self.peers.values()
+            if not p.is_server and p.channel_id == channel_id
+        )

@@ -1,0 +1,34 @@
+"""The measurement methodology of the paper (Sec. 3.2), reproduced.
+
+Each peer sends its first report 20 minutes after joining and one every
+10 minutes thereafter (so reporting peers are the 'stable backbone').
+A report carries the peer's IP, channel, buffer map summary, total
+download/upload capacities, instantaneous aggregate receiving/sending
+throughput, and a list of all partners with per-partner sent/received
+segment counts.  Reports travel over UDP (lossy) to a standalone trace
+server, which appends them to a trace store.
+"""
+
+from repro.traces.records import PartnerRecord, PeerReport
+from repro.traces.anonymize import IspPreservingAnonymizer
+from repro.traces.reporter import build_report, port_for_peer
+from repro.traces.server import TraceServer
+from repro.traces.store import (
+    InMemoryTraceStore,
+    JsonlTraceStore,
+    TraceReader,
+    iter_windows,
+)
+
+__all__ = [
+    "PartnerRecord",
+    "PeerReport",
+    "IspPreservingAnonymizer",
+    "build_report",
+    "port_for_peer",
+    "TraceServer",
+    "InMemoryTraceStore",
+    "JsonlTraceStore",
+    "TraceReader",
+    "iter_windows",
+]

@@ -1,0 +1,119 @@
+"""Trace anonymisation: keyed, ISP-preserving IP pseudonymisation.
+
+A study like Magellan cannot publish raw peer IPs.  The standard
+requirement for *topology* traces is a pseudonymisation that is
+
+- deterministic under a secret key (the same peer maps to the same
+  pseudonym everywhere, so graphs survive),
+- ISP-preserving (the paper's locality analyses must still work), and
+- non-invertible without the key.
+
+``IspPreservingAnonymizer`` permutes the host part of every address
+*within its owning CIDR block* using a keyed Feistel-style permutation,
+so every pseudonym stays inside its original block — the IP-to-ISP
+database maps it exactly as before — while host identities are hidden.
+Unmapped addresses (e.g. infrastructure servers) are permuted within
+the full 32-bit space minus nothing in particular; they stay unmapped
+only if they avoid every block, so they are instead remapped within a
+dedicated unmapped range to guarantee they never collide into an ISP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.network.ip import CidrBlock
+from repro.network.isp import IspDatabase
+from repro.traces.records import PartnerRecord, PeerReport
+
+#: Pseudonym space for addresses the database cannot map (servers etc.):
+#: a reserved block that no ISP in any registry uses.
+UNMAPPED_BLOCK = CidrBlock.parse("240.0.0.0/8")
+
+
+class IspPreservingAnonymizer:
+    """Keyed pseudonymisation of trace IPs that keeps ISP lookups intact."""
+
+    def __init__(self, db: IspDatabase, *, key: bytes | str = b"") -> None:
+        self.db = db
+        self.key = key.encode() if isinstance(key, str) else key
+        self._blocks: dict[str, list[CidrBlock]] = {
+            isp.name: list(isp.blocks) for isp in db.isps
+        }
+
+    # -- keyed permutation within a power-of-two domain ----------------------
+
+    def _round_value(self, data: bytes, round_no: int, bits: int) -> int:
+        digest = hashlib.sha256(
+            self.key + round_no.to_bytes(1, "big") + data
+        ).digest()
+        return int.from_bytes(digest[:4], "big") & ((1 << bits) - 1)
+
+    def _permute(self, value: int, bits: int, domain_tag: bytes) -> int:
+        """Keyed permutation of ``value`` within ``2**bits`` values.
+
+        A balanced 4-round Feistel network over ``2 * half`` bits (a
+        bijection for any key), plus cycle-walking to shrink odd-width
+        domains: re-encrypt until the result lands back inside
+        ``2**bits`` (expected <= 2 iterations).
+        """
+        if bits == 0:
+            return value
+        half = (bits + 1) // 2
+        mask = (1 << half) - 1
+        x = value
+        while True:
+            left = x >> half
+            right = x & mask
+            for round_no in range(4):
+                f = self._round_value(
+                    domain_tag + right.to_bytes(4, "big"), round_no, half
+                )
+                left, right = right, left ^ f
+            x = (left << half) | right
+            if x < (1 << bits):
+                return x
+
+    # -- address mapping ---------------------------------------------------------
+
+    def anonymize_ip(self, address: int) -> int:
+        """Pseudonym for ``address``; same ISP block, hidden host."""
+        name = self.db.lookup(address)
+        if name is None:
+            offset = self._permute(
+                address & (UNMAPPED_BLOCK.size - 1),
+                32 - UNMAPPED_BLOCK.prefix,
+                b"unmapped",
+            )
+            return UNMAPPED_BLOCK.address(offset)
+        for block in self._blocks[name]:
+            if address in block:
+                bits = 32 - block.prefix
+                host = address - block.base
+                tag = block.base.to_bytes(4, "big")
+                return block.address(self._permute(host, bits, tag))
+        raise AssertionError("database lookup disagrees with block list")
+
+    def anonymize_report(self, report: PeerReport) -> PeerReport:
+        """A copy of ``report`` with every IP pseudonymised."""
+        partners = tuple(
+            PartnerRecord(
+                ip=self.anonymize_ip(p.ip),
+                port=p.port,
+                sent_segments=p.sent_segments,
+                recv_segments=p.recv_segments,
+            )
+            for p in report.partners
+        )
+        return PeerReport(
+            time=report.time,
+            peer_ip=self.anonymize_ip(report.peer_ip),
+            channel_id=report.channel_id,
+            buffer_fill=report.buffer_fill,
+            playback_position=report.playback_position,
+            download_capacity_kbps=report.download_capacity_kbps,
+            upload_capacity_kbps=report.upload_capacity_kbps,
+            recv_rate_kbps=report.recv_rate_kbps,
+            sent_rate_kbps=report.sent_rate_kbps,
+            partners=partners,
+        )

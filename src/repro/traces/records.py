@@ -1,0 +1,90 @@
+"""Trace record schema and compact (de)serialisation.
+
+Records follow the paper's report contents (Sec. 3.2).  On disk they
+are single JSON lines with short keys and positional partner arrays —
+the traces of a two-week simulated run reach hundreds of megabytes, so
+compactness matters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartnerRecord:
+    """One partner entry in a report: identity plus segment counters."""
+
+    ip: int
+    port: int
+    sent_segments: int  # segments this peer sent to the partner
+    recv_segments: int  # segments this peer received from the partner
+
+    def to_array(self) -> list[int]:
+        """Positional [ip, port, sent, recv] form for compact JSON."""
+        return [self.ip, self.port, self.sent_segments, self.recv_segments]
+
+    @classmethod
+    def from_array(cls, arr: list[int]) -> "PartnerRecord":
+        if len(arr) != 4:
+            raise ValueError(f"partner record needs 4 fields, got {len(arr)}")
+        return cls(ip=arr[0], port=arr[1], sent_segments=arr[2], recv_segments=arr[3])
+
+
+@dataclass(frozen=True)
+class PeerReport:
+    """One periodic measurement report from a peer."""
+
+    time: float  # seconds since the simulated epoch
+    peer_ip: int
+    channel_id: int
+    buffer_fill: float  # sliding-window occupancy summary, 0..1
+    playback_position: int  # segment index of the playback point
+    download_capacity_kbps: float
+    upload_capacity_kbps: float
+    recv_rate_kbps: float  # instantaneous aggregate receiving throughput
+    sent_rate_kbps: float  # instantaneous aggregate sending throughput
+    partners: tuple[PartnerRecord, ...]
+
+    def to_json(self) -> str:
+        """Serialise to one compact JSON line."""
+        obj = {
+            # full precision: rounding could push a time across the
+            # boundary of the observation window it was emitted in
+            "t": self.time,
+            "ip": self.peer_ip,
+            "ch": self.channel_id,
+            "bf": round(self.buffer_fill, 4),
+            "pp": self.playback_position,
+            "dc": round(self.download_capacity_kbps, 1),
+            "uc": round(self.upload_capacity_kbps, 1),
+            "rr": round(self.recv_rate_kbps, 1),
+            "sr": round(self.sent_rate_kbps, 1),
+            "p": [p.to_array() for p in self.partners],
+        }
+        return json.dumps(obj, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "PeerReport":
+        obj = json.loads(line)
+        return cls(
+            time=float(obj["t"]),
+            peer_ip=int(obj["ip"]),
+            channel_id=int(obj["ch"]),
+            buffer_fill=float(obj["bf"]),
+            playback_position=int(obj["pp"]),
+            download_capacity_kbps=float(obj["dc"]),
+            upload_capacity_kbps=float(obj["uc"]),
+            recv_rate_kbps=float(obj["rr"]),
+            sent_rate_kbps=float(obj["sr"]),
+            partners=tuple(PartnerRecord.from_array(a) for a in obj["p"]),
+        )
+
+    def active_suppliers(self, threshold: int = 10) -> list[PartnerRecord]:
+        """Partners from which >= ``threshold`` segments were received."""
+        return [p for p in self.partners if p.recv_segments >= threshold]
+
+    def active_receivers(self, threshold: int = 10) -> list[PartnerRecord]:
+        """Partners to which >= ``threshold`` segments were sent."""
+        return [p for p in self.partners if p.sent_segments >= threshold]

@@ -1,0 +1,49 @@
+"""Peer-side report construction.
+
+``build_report`` snapshots a peer's state into a :class:`PeerReport`
+and advances the per-link 'reported' counters, so the next report
+carries only the segments exchanged since this one — the differential
+counting the paper's measurement code performs on each peer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.traces.records import PartnerRecord, PeerReport
+
+if TYPE_CHECKING:  # avoid a circular runtime import with repro.simulator
+    from repro.simulator.peer import Peer
+
+
+def port_for_peer(peer_id: int) -> int:
+    """Deterministic synthetic TCP/UDP port for a peer."""
+    return 20_000 + (peer_id % 40_000)
+
+
+def build_report(peer: Peer, now: float) -> PeerReport:
+    """Snapshot ``peer`` into a report and roll its reported counters."""
+    partners: list[PartnerRecord] = []
+    for pid, link in peer.partners.items():
+        sent_delta, recv_delta = link.unreported_deltas()
+        partners.append(
+            PartnerRecord(
+                ip=link.partner_ip,
+                port=port_for_peer(pid),
+                sent_segments=int(sent_delta),
+                recv_segments=int(recv_delta),
+            )
+        )
+        link.mark_reported()
+    return PeerReport(
+        time=now,
+        peer_ip=peer.ip,
+        channel_id=peer.channel_id,
+        buffer_fill=peer.buffer_fill,
+        playback_position=peer.playback_position,
+        download_capacity_kbps=peer.download_kbps,
+        upload_capacity_kbps=peer.upload_kbps,
+        recv_rate_kbps=peer.recv_rate_kbps,
+        sent_rate_kbps=peer.sent_rate_kbps,
+        partners=tuple(partners),
+    )

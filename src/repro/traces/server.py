@@ -1,0 +1,38 @@
+"""Standalone trace server (paper Sec. 3.2).
+
+Reports arrive over UDP, so a configurable fraction is lost in flight.
+Accepted reports are appended to a trace store.  The server keeps
+simple counters so experiments can report collection statistics, like
+the paper's '120 GB of traces'.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.traces.records import PeerReport
+from repro.traces.store import TraceStore
+
+
+class TraceServer:
+    """Collects measurement reports from peers."""
+
+    def __init__(
+        self, store: TraceStore, *, loss_rate: float = 0.01, seed: int = 0
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self.store = store
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.received = 0
+        self.dropped = 0
+
+    def receive(self, report: PeerReport) -> bool:
+        """Deliver one UDP report; False if it was lost in flight."""
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return False
+        self.store.append(report)
+        self.received += 1
+        return True

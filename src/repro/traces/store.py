@@ -1,0 +1,127 @@
+"""Trace storage: JSONL (optionally gzip) on disk or in memory.
+
+Reports are appended in non-decreasing time order (the simulator emits
+them chronologically), which lets analysis stream a multi-hundred-MB
+trace window by window without loading it whole — the same discipline
+a real 120 GB trace demands.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+from repro.traces.records import PeerReport
+
+
+class TraceStore(Protocol):
+    """Anything that can accept appended reports."""
+
+    def append(self, report: PeerReport) -> None: ...
+
+
+class InMemoryTraceStore:
+    """Keeps reports in a list; for tests and small experiments."""
+
+    def __init__(self) -> None:
+        self.reports: list[PeerReport] = []
+
+    def append(self, report: PeerReport) -> None:
+        """Store one report."""
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self) -> Iterator[PeerReport]:
+        return iter(self.reports)
+
+
+class JsonlTraceStore:
+    """Appends reports as JSON lines, optionally gzip-compressed.
+
+    Use as a context manager, or call :meth:`close` explicitly before
+    reading the file back.
+    """
+
+    def __init__(self, path: str | Path, *, compress: bool | None = None) -> None:
+        self.path = Path(path)
+        if compress is None:
+            compress = self.path.suffix == ".gz"
+        self.compress = compress
+        self._count = 0
+        if compress:
+            self._fh: io.TextIOBase = gzip.open(self.path, "wt", compresslevel=4)
+        else:
+            self._fh = open(self.path, "w")
+
+    def append(self, report: PeerReport) -> None:
+        """Write one report as a JSON line."""
+        self._fh.write(report.to_json())
+        self._fh.write("\n")
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streams reports back from a JSONL(.gz) trace file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[PeerReport]:
+        if self.path.suffix == ".gz":
+            fh: io.TextIOBase = gzip.open(self.path, "rt")
+        else:
+            fh = open(self.path, "r")
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield PeerReport.from_json(line)
+
+
+def iter_windows(
+    reports: Iterable[PeerReport], window_seconds: float, *, start: float = 0.0
+) -> Iterator[tuple[float, list[PeerReport]]]:
+    """Group time-ordered reports into consecutive windows.
+
+    Yields ``(window_start, reports_in_window)`` for every non-empty
+    window.  Raises ``ValueError`` if input order regresses across a
+    window boundary (a corrupted or unsorted trace).
+    """
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    current_start: float | None = None
+    bucket: list[PeerReport] = []
+    for report in reports:
+        if report.time < start:
+            continue
+        w = start + ((report.time - start) // window_seconds) * window_seconds
+        if current_start is None:
+            current_start = w
+        if w < current_start:
+            raise ValueError("trace not time-ordered across windows")
+        if w > current_start:
+            if bucket:
+                yield (current_start, bucket)
+            bucket = []
+            current_start = w
+        bucket.append(report)
+    if bucket and current_start is not None:
+        yield (current_start, bucket)

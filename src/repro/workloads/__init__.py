@@ -1,0 +1,32 @@
+"""Workload models driving the simulated UUSee deployment.
+
+The paper's evaluation hinges on load dynamics: a double-peak diurnal
+cycle (~1 p.m. and ~9 p.m.), a slight weekend increase, heavy churn
+(stable reporting peers are asymptotically 1/3 of the concurrent
+population), and one large flash crowd (9 p.m., Oct 6 2006, the
+mid-autumn festival).  These modules generate exactly those dynamics,
+seeded and scaled.
+"""
+
+from repro.workloads.diurnal import DiurnalShape, weekly_multiplier
+from repro.workloads.flashcrowd import FlashCrowdEvent
+from repro.workloads.churn import SessionDurationModel
+from repro.workloads.population import PopulationModel, ArrivalProcess
+
+__all__ = [
+    "DiurnalShape",
+    "weekly_multiplier",
+    "FlashCrowdEvent",
+    "SessionDurationModel",
+    "PopulationModel",
+    "ArrivalProcess",
+]
+
+#: Simulated epoch: Sunday 2006-10-01 00:00 (GMT+8), the start of the
+#: paper's two selected weeks.  All simulation times are seconds since
+#: this instant.
+EPOCH_DESCRIPTION = "2006-10-01 00:00 GMT+8 (Sunday)"
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY

@@ -1,0 +1,70 @@
+"""Diurnal and weekly load shape (paper Fig. 1(A)).
+
+The paper observes a daily peak around 9 p.m., a second daily peak
+around 1 p.m., and only a slight increase over the weekend.  The shape
+is a baseline plus two wrapped Gaussian bumps in time-of-day, scaled so
+the 9 p.m. peak value is exactly 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_HOUR = 3_600
+
+
+def _wrapped_gauss(hour: float, centre: float, width_hours: float) -> float:
+    """Gaussian bump in time-of-day with 24 h wraparound."""
+    delta = abs(hour - centre)
+    delta = min(delta, 24.0 - delta)
+    return math.exp(-0.5 * (delta / width_hours) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """Time-of-day load multiplier, normalised to 1.0 at the main peak."""
+
+    baseline: float = 0.52
+    noon_peak_hour: float = 13.0
+    noon_peak_amplitude: float = 0.24
+    noon_peak_width_hours: float = 2.2
+    evening_peak_hour: float = 21.0
+    evening_peak_amplitude: float = 0.48
+    evening_peak_width_hours: float = 2.6
+    _peak_value: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        raw_peak = self._raw(self.evening_peak_hour)
+        object.__setattr__(self, "_peak_value", raw_peak)
+
+    def _raw(self, hour: float) -> float:
+        return (
+            self.baseline
+            + self.noon_peak_amplitude
+            * _wrapped_gauss(hour, self.noon_peak_hour, self.noon_peak_width_hours)
+            + self.evening_peak_amplitude
+            * _wrapped_gauss(hour, self.evening_peak_hour, self.evening_peak_width_hours)
+        )
+
+    def multiplier(self, t_seconds: float) -> float:
+        """Load multiplier at simulation time ``t_seconds`` (0..1]."""
+        hour = (t_seconds % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        return self._raw(hour) / self._peak_value
+
+    def peak_hours(self) -> tuple[float, float]:
+        """(noon peak, evening peak) hours of day."""
+        return (self.noon_peak_hour, self.evening_peak_hour)
+
+
+def weekly_multiplier(t_seconds: float, *, weekend_boost: float = 1.07) -> float:
+    """Slight weekend increase; epoch day 0 is a Sunday.
+
+    Days 0 (Sunday) and 6 (Saturday) of each simulated week get the
+    boost; weekdays are 1.0.
+    """
+    day_of_week = int(t_seconds // SECONDS_PER_DAY) % 7
+    if day_of_week in (0, 6):
+        return weekend_boost
+    return 1.0

@@ -1,0 +1,55 @@
+"""Flash crowd event (paper Sec. 4.1.1).
+
+The paper's traces contain one large flash crowd: around 9 p.m. on
+Friday October 6 2006 (the mid-autumn festival), caused by a CCTV
+celebration broadcast.  The event is modelled as a population
+multiplier that ramps up quickly, holds through the broadcast, and
+decays exponentially afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_HOUR = 3_600
+
+#: Epoch day 0 is Sunday Oct 1 2006, so the festival evening is day 5.
+DEFAULT_FLASH_CROWD_START = 5 * SECONDS_PER_DAY + 20 * SECONDS_PER_HOUR + 1800
+
+
+@dataclass(frozen=True)
+class FlashCrowdEvent:
+    """A population surge: ramp, hold, exponential decay."""
+
+    start: float = DEFAULT_FLASH_CROWD_START
+    ramp_seconds: float = 1_800.0
+    hold_seconds: float = 7_200.0
+    decay_seconds: float = 4_500.0  # exponential time constant
+    magnitude: float = 2.3  # peak population multiplier
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 1.0:
+            raise ValueError("flash crowd magnitude must be >= 1")
+        if min(self.ramp_seconds, self.hold_seconds, self.decay_seconds) <= 0:
+            raise ValueError("phase durations must be positive")
+
+    def multiplier(self, t_seconds: float) -> float:
+        """Population multiplier at ``t_seconds`` (1.0 outside the event)."""
+        dt = t_seconds - self.start
+        excess = self.magnitude - 1.0
+        if dt < 0:
+            return 1.0
+        if dt < self.ramp_seconds:
+            return 1.0 + excess * (dt / self.ramp_seconds)
+        dt -= self.ramp_seconds
+        if dt < self.hold_seconds:
+            return self.magnitude
+        dt -= self.hold_seconds
+        return 1.0 + excess * math.exp(-dt / self.decay_seconds)
+
+    @property
+    def peak_time(self) -> float:
+        """Centre of the hold phase (the '9 p.m.' the paper marks)."""
+        return self.start + self.ramp_seconds + self.hold_seconds / 2.0

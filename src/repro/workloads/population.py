@@ -1,0 +1,99 @@
+"""Target population and the arrival process that realises it.
+
+``PopulationModel`` composes the diurnal, weekly and flash-crowd
+multipliers into a target concurrency N(t).  ``ArrivalProcess`` turns
+that target into Poisson arrivals via Little's law — in steady state a
+population with mean session E[D] and arrival rate lambda holds
+N = lambda * E[D] concurrent peers — so the realised concurrency tracks
+the target as long as the diurnal timescale is much longer than E[D]
+(it is: hours vs ~15 minutes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.churn import SessionDurationModel
+from repro.workloads.diurnal import DiurnalShape, weekly_multiplier
+from repro.workloads.flashcrowd import FlashCrowdEvent
+
+
+@dataclass(frozen=True)
+class PopulationModel:
+    """Target concurrent population N(t)."""
+
+    base_concurrency: float = 2_000.0
+    diurnal: DiurnalShape = field(default_factory=DiurnalShape)
+    weekend_boost: float = 1.07
+    flash_crowd: FlashCrowdEvent | None = field(default_factory=FlashCrowdEvent)
+
+    def target(self, t_seconds: float) -> float:
+        """Target concurrency at ``t_seconds``."""
+        n = self.base_concurrency * self.diurnal.multiplier(t_seconds)
+        n *= weekly_multiplier(t_seconds, weekend_boost=self.weekend_boost)
+        if self.flash_crowd is not None:
+            n *= self.flash_crowd.multiplier(t_seconds)
+        return n
+
+
+class ArrivalProcess:
+    """Poisson arrivals whose rate keeps concurrency near the target."""
+
+    def __init__(
+        self,
+        population: PopulationModel,
+        sessions: SessionDurationModel,
+        *,
+        seed: int = 0,
+        lifetime_quantum_s: float | None = None,
+    ) -> None:
+        """``lifetime_quantum_s``: if the consumer of these arrivals only
+        removes peers at fixed boundaries (e.g. exchange rounds), pass the
+        boundary spacing so the rate divides by the *quantized* mean
+        session; realised concurrency then still matches the target."""
+        self.population = population
+        self.sessions = sessions
+        self._rng = random.Random(seed)
+        if lifetime_quantum_s is not None:
+            self._mean_duration = sessions.mean_quantized_duration(lifetime_quantum_s)
+        else:
+            self._mean_duration = sessions.mean_duration()
+
+    def rate(self, t_seconds: float) -> float:
+        """Instantaneous arrival rate (peers per second)."""
+        return self.population.target(t_seconds) / self._mean_duration
+
+    def arrivals_in(self, t_seconds: float, dt_seconds: float) -> int:
+        """Number of arrivals in [t, t+dt), Poisson with midpoint rate."""
+        lam = self.rate(t_seconds + dt_seconds / 2.0) * dt_seconds
+        return self._poisson(lam)
+
+    def arrival_times_in(self, t_seconds: float, dt_seconds: float) -> list[float]:
+        """Sorted arrival instants in [t, t+dt) (uniform given the count)."""
+        count = self.arrivals_in(t_seconds, dt_seconds)
+        times = sorted(
+            t_seconds + self._rng.random() * dt_seconds for _ in range(count)
+        )
+        return times
+
+    def sample_session(self) -> float:
+        """Draw a session duration for a new arrival."""
+        return self.sessions.sample(self._rng)
+
+    def _poisson(self, lam: float) -> int:
+        """Poisson draw; normal approximation above lam=50 for speed."""
+        if lam <= 0.0:
+            return 0
+        if lam > 50.0:
+            return max(0, round(self._rng.gauss(lam, lam**0.5)))
+        # Knuth's method
+        import math
+
+        threshold = math.exp(-lam)
+        count = 0
+        product = self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count

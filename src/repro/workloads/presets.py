@@ -1,0 +1,74 @@
+"""Named experiment presets.
+
+Experiments across the examples, tests, benchmarks and CLI keep needing
+the same handful of configurations; these constructors make them
+explicit, documented, and reusable.
+
+- ``paper_two_weeks``  — the paper's evaluation setting, scaled: 14
+  simulated days from Sunday 2006-10-01, double-peak diurnal load,
+  slight weekend boost, the day-5 (Friday Oct 6) 9 p.m. flash crowd;
+- ``bench_week``       — the benchmark default: 8 days covering a full
+  week plus the flash crowd, at laptop scale;
+- ``laptop_quick``     — a 2-day warm-up-plus-one-full-day run for
+  interactive exploration;
+- ``smoke``            — minutes-scale run for tests.
+
+Each returns ``(SystemConfig, days)`` so callers keep control over
+stores, catalogues and execution.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.protocol import SelectionPolicy
+from repro.simulator.system import SystemConfig
+from repro.workloads.flashcrowd import FlashCrowdEvent
+
+
+def paper_two_weeks(
+    *, seed: int = 2006, base_concurrency: float = 1_000.0
+) -> tuple[SystemConfig, float]:
+    """The paper's two selected weeks (Oct 1-14 2006), scaled."""
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base_concurrency,
+        flash_crowd=FlashCrowdEvent(),
+    )
+    return config, 14.0
+
+
+def bench_week(
+    *, seed: int = 2006, base_concurrency: float = 1_000.0
+) -> tuple[SystemConfig, float]:
+    """One full week plus the flash crowd: the benchmark default."""
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base_concurrency,
+        flash_crowd=FlashCrowdEvent(),
+    )
+    return config, 8.0
+
+
+def laptop_quick(
+    *, seed: int = 7, base_concurrency: float = 400.0
+) -> tuple[SystemConfig, float]:
+    """Two simulated days without a flash crowd; runs in ~a minute."""
+    config = SystemConfig(
+        seed=seed, base_concurrency=base_concurrency, flash_crowd=None
+    )
+    return config, 2.0
+
+
+def smoke(
+    *,
+    seed: int = 1,
+    base_concurrency: float = 120.0,
+    policy: SelectionPolicy = SelectionPolicy.UUSEE,
+) -> tuple[SystemConfig, float]:
+    """A few simulated hours at toy scale for fast tests."""
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base_concurrency,
+        flash_crowd=None,
+        policy=policy,
+    )
+    return config, 0.25

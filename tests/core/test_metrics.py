@@ -1,0 +1,213 @@
+"""Unit tests for the Sec. 4 metric suite on handcrafted snapshots."""
+
+import pytest
+
+from repro.core import build_snapshot
+from repro.core.metrics import (
+    average_degrees,
+    daily_distinct_ips,
+    degree_distributions,
+    intra_isp_degree_fractions,
+    isp_shares,
+    peer_counts,
+    random_intra_isp_baseline,
+    reciprocity_metrics,
+    small_world,
+    streaming_quality,
+)
+from repro.network import build_default_database
+from tests.core.helpers import partner, report
+
+DB = build_default_database()
+TELECOM = [DB.isp("China Telecom").blocks[i].base + 5 for i in range(6)]
+NETCOM = [DB.isp("China Netcom").blocks[i].base + 5 for i in range(6)]
+
+
+def snap(reports):
+    return build_snapshot(reports, time=0.0, window_seconds=600.0)
+
+
+class TestCounts:
+    def test_peer_counts(self):
+        s = snap([report(1, partners=[partner(2), partner(3)]), report(2)])
+        assert peer_counts(s) == (3, 2)
+
+    def test_daily_distinct_ips(self):
+        reports = [
+            report(1, t=100.0, partners=[partner(7)]),
+            report(2, t=50_000.0),
+            report(1, t=90_000.0),  # next day, same stable ip
+            report(3, t=90_500.0, partners=[partner(8)]),
+        ]
+        rows = daily_distinct_ips(reports)
+        assert rows == [(0, 3, 2), (1, 3, 2)]
+
+
+class TestIspShares:
+    def test_shares_computed_over_mapped_ips(self):
+        s = snap(
+            [
+                report(TELECOM[0], partners=[partner(TELECOM[1]), partner(NETCOM[0])]),
+                report(NETCOM[1], partners=[partner(123)]),  # unmapped partner
+            ]
+        )
+        shares = isp_shares(s, DB)
+        assert shares["China Telecom"] == pytest.approx(2 / 4)
+        assert shares["China Netcom"] == pytest.approx(2 / 4)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_stable_only(self):
+        s = snap([report(TELECOM[0], partners=[partner(NETCOM[0])])])
+        shares = isp_shares(s, DB, stable_only=True)
+        assert shares == {"China Telecom": 1.0}
+
+    def test_empty(self):
+        assert isp_shares(snap([report(123)]), DB) == {}
+
+
+class TestStreamingQuality:
+    def test_fraction_above_threshold(self):
+        s = snap(
+            [
+                report(1, channel=0, recv_rate=395.0),
+                report(2, channel=0, recv_rate=380.0),
+                report(3, channel=0, recv_rate=200.0),
+                report(4, channel=1, recv_rate=100.0),
+            ]
+        )
+        assert streaming_quality(s, 0, 400.0) == pytest.approx(2 / 3)
+        assert streaming_quality(s, 1, 400.0) == 0.0
+
+    def test_missing_channel_returns_none(self):
+        assert streaming_quality(snap([report(1, channel=0)]), 5, 400.0) is None
+
+
+class TestDegrees:
+    def test_distributions_from_reports(self):
+        s = snap(
+            [
+                report(
+                    1,
+                    partners=[
+                        partner(2, recv=20),
+                        partner(3, recv=20, sent=15),
+                        partner(4, sent=2, recv=2),
+                    ],
+                ),
+                report(2, partners=[partner(1, sent=20)]),
+            ]
+        )
+        d = degree_distributions(s)
+        assert d["partners"].num_peers == 2
+        assert d["in"].fraction(2) == pytest.approx(0.5)  # peer 1 has 2 suppliers
+        assert d["out"].fraction(1) == pytest.approx(1.0)  # both have outdeg 1
+
+    def test_average_degrees(self):
+        s = snap(
+            [
+                report(1, partners=[partner(2, recv=20), partner(3)]),
+                report(2, partners=[partner(1, sent=20)]),
+            ]
+        )
+        summary = average_degrees(s)
+        assert summary.mean_partners == pytest.approx(1.5)
+        assert summary.mean_indegree == pytest.approx(0.5)
+        assert summary.mean_outdegree == pytest.approx(0.5)
+
+
+class TestIntraIsp:
+    def test_fraction_follows_paper_definition(self):
+        s = snap(
+            [
+                report(
+                    TELECOM[0],
+                    partners=[
+                        partner(TELECOM[1], recv=20),
+                        partner(NETCOM[0], recv=20),
+                        partner(TELECOM[2], sent=20),
+                    ],
+                )
+            ]
+        )
+        result = intra_isp_degree_fractions(s, DB)
+        assert result.indegree_fraction == pytest.approx(0.5)
+        assert result.outdegree_fraction == pytest.approx(1.0)
+        assert result.peers_with_indegree == 1
+
+    def test_peers_without_degree_excluded(self):
+        s = snap([report(TELECOM[0], partners=[])])
+        result = intra_isp_degree_fractions(s, DB)
+        assert result.peers_with_indegree == 0
+        assert result.indegree_fraction == 0.0
+
+    def test_unmapped_reporters_skipped(self):
+        s = snap([report(123, partners=[partner(TELECOM[0], recv=20)])])
+        assert intra_isp_degree_fractions(s, DB).peers_with_indegree == 0
+
+    def test_random_baseline(self):
+        base = random_intra_isp_baseline(DB)
+        assert base == pytest.approx(sum(i.share**2 for i in DB.isps))
+        assert 0.2 < base < 0.35
+
+
+class TestReciprocity:
+    def test_bilateral_intra_vs_unilateral_inter(self):
+        # three telecom peers exchange mutually; telecom->netcom one-way
+        s = snap(
+            [
+                report(
+                    TELECOM[0],
+                    partners=[
+                        partner(TELECOM[1], sent=20, recv=20),
+                        partner(TELECOM[2], sent=20, recv=20),
+                        partner(NETCOM[0], sent=20),
+                    ],
+                ),
+            ]
+        )
+        m = reciprocity_metrics(s, DB)
+        assert m.intra_isp > 0
+        assert m.inter_isp < 0  # single one-way link is antireciprocal
+        assert m.num_edges == 5
+
+    def test_unmapped_links_excluded_from_split(self):
+        # a third (stable, unconnected) peer keeps density below 1 so
+        # rho is well-defined for the full graph
+        s = snap(
+            [
+                report(TELECOM[0], partners=[partner(123, sent=20, recv=20)]),
+                report(TELECOM[1], partners=[]),
+            ]
+        )
+        m = reciprocity_metrics(s, DB)
+        assert m.intra_isp == 0.0
+        assert m.inter_isp == 0.0
+        assert m.all_links > 0
+
+
+class TestSmallWorld:
+    def _clustered_snapshot(self):
+        # triangle of telecom peers all exchanging mutually + pendant
+        a, b, c, d = TELECOM[0], TELECOM[1], TELECOM[2], NETCOM[0]
+        return snap(
+            [
+                report(a, partners=[partner(b, sent=20, recv=20), partner(c, sent=20, recv=20)]),
+                report(b, partners=[partner(c, sent=20, recv=20)]),
+                report(c, partners=[partner(d, sent=20, recv=20)]),
+                report(d, partners=[]),
+            ]
+        )
+
+    def test_global_metrics(self):
+        m = small_world(self._clustered_snapshot(), seed=1)
+        assert m.num_nodes == 4
+        assert m.clustering > 0.5
+
+    def test_isp_subgraph(self):
+        m = small_world(self._clustered_snapshot(), isp="China Telecom", db=DB, seed=1)
+        assert m.num_nodes == 3
+        assert m.clustering == pytest.approx(1.0)
+
+    def test_isp_requires_db(self):
+        with pytest.raises(ValueError):
+            small_world(self._clustered_snapshot(), isp="China Telecom")

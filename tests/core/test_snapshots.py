@@ -1,0 +1,99 @@
+"""Unit tests for topology snapshot construction."""
+
+from repro.core import build_snapshot
+from tests.core.helpers import partner, report
+
+
+def snap(reports, threshold=10):
+    return build_snapshot(
+        reports, time=0.0, window_seconds=600.0, active_threshold=threshold
+    )
+
+
+class TestBuildSnapshot:
+    def test_stable_and_total_sets(self):
+        s = snap(
+            [
+                report(1, partners=[partner(2, recv=20), partner(99, sent=1)]),
+                report(2, partners=[partner(1, sent=20)]),
+            ]
+        )
+        assert s.stable_ips == {1, 2}
+        assert s.all_ips == {1, 2, 99}  # 99 is a transient partner
+        assert s.num_stable == 2
+        assert s.num_total == 3
+
+    def test_active_edge_from_receiver_report(self):
+        s = snap([report(1, partners=[partner(5, recv=30)])])
+        assert s.active_graph.has_edge(5, 1)
+        assert not s.active_graph.has_edge(1, 5)
+
+    def test_active_edge_from_sender_report(self):
+        s = snap([report(1, partners=[partner(5, sent=30)])])
+        assert s.active_graph.has_edge(1, 5)
+
+    def test_threshold_respected(self):
+        s = snap([report(1, partners=[partner(5, recv=9), partner(6, recv=10)])])
+        assert not s.active_graph.has_edge(5, 1)
+        assert s.active_graph.has_edge(6, 1)
+
+    def test_bilateral_edge_from_one_report(self):
+        s = snap([report(1, partners=[partner(5, sent=20, recv=20)])])
+        assert s.active_graph.has_edge(1, 5)
+        assert s.active_graph.has_edge(5, 1)
+
+    def test_both_endpoints_agree_no_duplicate(self):
+        s = snap(
+            [
+                report(1, partners=[partner(2, recv=20)]),
+                report(2, partners=[partner(1, sent=20)]),
+            ]
+        )
+        assert s.active_graph.num_edges == 1
+
+    def test_latest_report_wins(self):
+        s = snap(
+            [
+                report(1, t=10.0, partners=[partner(2, recv=20)]),
+                report(1, t=500.0, partners=[partner(3, recv=20)]),
+            ]
+        )
+        assert s.active_graph.has_edge(3, 1)
+        assert not s.active_graph.has_edge(2, 1)
+        assert s.num_stable == 1
+
+    def test_partner_graph_includes_inactive(self):
+        s = snap([report(1, partners=[partner(5, sent=0, recv=0)])])
+        assert s.partner_graph.has_edge(1, 5)
+        assert s.active_graph.num_edges == 0
+
+    def test_stable_active_graph_excludes_transients(self):
+        s = snap(
+            [
+                report(1, partners=[partner(2, recv=20), partner(99, recv=20)]),
+                report(2, partners=[]),
+            ]
+        )
+        stable = s.stable_active_graph()
+        assert stable.has_edge(2, 1)
+        assert 99 not in stable
+        # full active graph still has the transient edge
+        assert s.active_graph.has_edge(99, 1)
+
+    def test_stable_graph_cached(self):
+        s = snap([report(1, partners=[partner(2, recv=20)]), report(2)])
+        assert s.stable_active_graph() is s.stable_active_graph()
+
+    def test_self_partner_ignored(self):
+        s = snap([report(1, partners=[partner(1, recv=50)])])
+        assert s.active_graph.num_edges == 0
+
+    def test_undirected_stable_graph(self):
+        s = snap(
+            [
+                report(1, partners=[partner(2, recv=20, sent=20)]),
+                report(2, partners=[]),
+            ]
+        )
+        und = s.stable_undirected_graph()
+        assert und.num_edges == 1

@@ -1,0 +1,97 @@
+"""Unit tests for windowed observation and report rendering."""
+
+import pytest
+
+from repro.core import observe
+from repro.core.report import format_series, format_table, write_csv
+from repro.core.timeseries import SnapshotSeries
+from tests.core.helpers import partner, report
+
+
+class TestObserve:
+    def test_metric_per_window(self):
+        reports = [
+            report(1, t=10.0),
+            report(2, t=20.0),
+            report(1, t=700.0),
+        ]
+        series = observe(reports, {"stable": lambda s: s.num_stable})
+        assert series.times == [0.0, 600.0]
+        assert series.column("stable") == [2, 1]
+
+    def test_observe_every_subsamples(self):
+        reports = [report(1, t=float(t)) for t in range(0, 7200, 300)]
+        series = observe(
+            reports,
+            {"n": lambda s: s.num_stable},
+            window_seconds=600.0,
+            observe_every=3600.0,
+        )
+        assert series.times == [0.0, 3600.0]
+
+    def test_observe_every_must_cover_window(self):
+        with pytest.raises(ValueError):
+            observe([], {"n": lambda s: 0}, window_seconds=600, observe_every=300)
+
+    def test_start_offset(self):
+        reports = [report(1, t=100.0), report(2, t=700.0)]
+        series = observe(
+            reports, {"n": lambda s: s.num_stable}, start=600.0
+        )
+        assert series.times == [600.0]
+
+    def test_multiple_metrics_aligned(self):
+        reports = [report(1, t=10.0, partners=[partner(9, recv=20)])]
+        series = observe(
+            reports,
+            {"stable": lambda s: s.num_stable, "total": lambda s: s.num_total},
+        )
+        rows = list(series.rows())
+        assert rows == [(0.0, {"stable": 1, "total": 2})]
+
+    def test_custom_threshold_passed_to_snapshot(self):
+        reports = [report(1, t=10.0, partners=[partner(9, recv=5)])]
+        strict = observe(
+            reports, {"e": lambda s: s.active_graph.num_edges}, active_threshold=10
+        )
+        loose = observe(
+            reports, {"e": lambda s: s.active_graph.num_edges}, active_threshold=3
+        )
+        assert strict.column("e") == [0]
+        assert loose.column("e") == [1]
+
+
+class TestSeriesContainer:
+    def test_append_and_len(self):
+        s = SnapshotSeries()
+        s.append(0.0, {"a": 1})
+        s.append(600.0, {"a": 2})
+        assert len(s) == 2
+        assert s.column("a") == [1, 2]
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["x", 1.23456], ["longer", None]],
+            precision=2,
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.23" in text
+        assert "-" in lines[-1]  # None rendered as dash
+
+    def test_format_series(self):
+        s = SnapshotSeries()
+        s.append(3600.0, {"total": 10})
+        text = format_series(s, ["total"], time_unit="hours")
+        assert "t_hours" in text
+        assert "1.000" in text
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]

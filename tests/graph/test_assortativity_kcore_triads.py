@@ -1,0 +1,167 @@
+"""Unit and property tests for assortativity, k-cores and triads."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DiGraph,
+    Graph,
+    attribute_mixing,
+    core_numbers,
+    degeneracy,
+    degree_assortativity,
+    dyad_census,
+    k_core,
+    triangle_census,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    max_size=80,
+)
+
+
+class TestDegreeAssortativity:
+    def test_star_is_disassortative(self):
+        g = Graph([(0, i) for i in range(1, 8)])
+        assert degree_assortativity(g) < 0
+
+    def test_disjoint_cliques_regular_zero(self):
+        g = Graph()
+        for base in (0, 10):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    g.add_edge(base + i, base + j)
+        # regular graph: zero degree variance -> 0 by convention
+        assert degree_assortativity(g) == 0.0
+
+    def test_tiny_graph_zero(self):
+        assert degree_assortativity(Graph([(1, 2)])) == 0.0
+
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        ours = Graph()
+        theirs = nx.Graph()
+        for u, v in edges:
+            ours.add_edge(u, v)
+            theirs.add_edge(u, v)
+        if theirs.number_of_edges() < 2:
+            return
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ref = nx.degree_assortativity_coefficient(theirs)
+        mine = degree_assortativity(ours)
+        if ref != ref:  # NaN (zero variance)
+            assert mine == 0.0
+        else:
+            assert mine == pytest.approx(ref, abs=1e-9)
+
+
+class TestAttributeMixing:
+    def test_perfectly_assortative(self):
+        g = Graph([(1, 2), (3, 4)])
+        groups = {1: "a", 2: "a", 3: "b", 4: "b"}
+        assert attribute_mixing(g, groups.get) == pytest.approx(1.0)
+
+    def test_perfectly_disassortative(self):
+        g = Graph([(1, 2), (3, 4)])
+        groups = {1: "a", 2: "b", 3: "b", 4: "a"}
+        assert attribute_mixing(g, groups.get) < 0
+
+    def test_none_attributes_skipped(self):
+        g = Graph([(1, 2), (3, 4), (4, 5)])
+        groups = {1: "a", 2: "a", 3: "b", 4: "b"}  # 5 unmapped
+        # only the two mapped edges count; both are within-group
+        assert attribute_mixing(g, groups.get) == pytest.approx(1.0)
+
+    def test_single_category_zero(self):
+        g = Graph([(1, 2)])
+        assert attribute_mixing(g, lambda n: "x") == 0.0
+
+
+class TestKCore:
+    def test_clique_core(self):
+        g = Graph()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        g.add_edge(0, 99)  # pendant
+        cores = core_numbers(g)
+        assert cores[99] == 1
+        assert all(cores[i] == 4 for i in range(5))
+        assert degeneracy(g) == 4
+
+    def test_k_core_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        core2 = k_core(g, 2)
+        assert set(core2.nodes()) == {1, 2, 3}
+        assert k_core(g, 3).num_nodes == 0
+
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+        assert degeneracy(Graph()) == 0
+
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        ours = Graph()
+        theirs = nx.Graph()
+        for u, v in edges:
+            ours.add_edge(u, v)
+            theirs.add_edge(u, v)
+        assert core_numbers(ours) == nx.core_number(theirs)
+
+
+class TestDyadCensus:
+    def test_counts(self):
+        g = DiGraph([(1, 2), (2, 1), (1, 3)])
+        census = dyad_census(g)
+        assert census.mutual == 1
+        assert census.asymmetric == 1
+        assert census.null == 1  # pair (2,3)
+        assert census.total == 3
+        assert census.mutual_fraction_of_connected() == pytest.approx(0.5)
+
+    def test_empty(self):
+        census = dyad_census(DiGraph())
+        assert census.total == 0
+        assert census.mutual_fraction_of_connected() == 0.0
+
+    @given(edge_lists)
+    def test_consistent_with_reciprocity(self, edges):
+        from repro.graph import raw_reciprocity
+
+        g = DiGraph(edges) if edges else DiGraph()
+        census = dyad_census(g)
+        if g.num_edges:
+            assert raw_reciprocity(g) == pytest.approx(
+                2 * census.mutual / g.num_edges
+            )
+
+
+class TestTriangleCensus:
+    def test_cyclic_triangle(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 1)])
+        census = triangle_census(g)
+        assert census.cyclic == 1
+        assert census.transitive == 0
+
+    def test_transitive_triangle(self):
+        g = DiGraph([(1, 2), (2, 3), (1, 3)])
+        census = triangle_census(g)
+        assert census.cyclic == 0
+        assert census.transitive == 1
+
+    def test_mutual_triangle_rich(self):
+        # fully bilateral triangle: every orientation present
+        edges = [(u, v) for u in (1, 2, 3) for v in (1, 2, 3) if u != v]
+        census = triangle_census(DiGraph(edges))
+        assert census.cyclic == 2  # both rotations
+        assert census.transitive == 6
+
+    def test_empty(self):
+        census = triangle_census(DiGraph())
+        assert census.total == 0

@@ -1,0 +1,81 @@
+"""Unit tests for clustering coefficients."""
+
+import pytest
+
+from repro.graph import Graph, average_clustering, local_clustering
+from repro.graph.clustering import expected_random_clustering
+
+
+def triangle_plus_tail():
+    # Triangle 1-2-3 with a pendant 4 attached to 1.
+    return Graph([(1, 2), (2, 3), (3, 1), (1, 4)])
+
+
+class TestLocalClustering:
+    def test_triangle_vertex(self):
+        g = triangle_plus_tail()
+        # Vertex 2 has neighbours {1,3}, which are linked: C=1.
+        assert local_clustering(g, 2) == pytest.approx(1.0)
+
+    def test_hub_vertex(self):
+        g = triangle_plus_tail()
+        # Vertex 1 has neighbours {2,3,4}; only (2,3) of 3 pairs linked.
+        assert local_clustering(g, 1) == pytest.approx(1 / 3)
+
+    def test_degree_one_vertex_is_zero(self):
+        g = triangle_plus_tail()
+        assert local_clustering(g, 4) == 0.0
+
+    def test_star_graph_no_clustering(self):
+        g = Graph([(0, i) for i in range(1, 6)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_complete_graph_fully_clustered(self):
+        g = Graph()
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(i, j)
+        for node in g.nodes():
+            assert local_clustering(g, node) == pytest.approx(1.0)
+
+
+class TestAverageClustering:
+    def test_triangle_plus_tail(self):
+        g = triangle_plus_tail()
+        expected = (1 / 3 + 1.0 + 1.0 + 0.0) / 4
+        assert average_clustering(g) == pytest.approx(expected)
+
+    def test_excluding_isolated(self):
+        g = triangle_plus_tail()
+        expected = (1 / 3 + 1.0 + 1.0) / 3
+        assert average_clustering(g, count_isolated=False) == pytest.approx(expected)
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+    def test_matches_networkx(self):
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(11)
+        ours = Graph()
+        theirs = nx.Graph()
+        for _ in range(300):
+            u, v = rng.randrange(60), rng.randrange(60)
+            if u == v:
+                continue
+            ours.add_edge(u, v)
+            theirs.add_edge(u, v)
+        for n in range(60):
+            ours.add_node(n)
+            theirs.add_node(n)
+        assert average_clustering(ours) == pytest.approx(
+            nx.average_clustering(theirs), abs=1e-12
+        )
+
+
+class TestRandomBaseline:
+    def test_expected_random_clustering_is_density(self):
+        g = triangle_plus_tail()
+        assert expected_random_clustering(g) == pytest.approx(g.density())

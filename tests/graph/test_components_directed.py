@@ -1,0 +1,81 @@
+"""Unit and property tests for strongly connected components."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DiGraph,
+    condensation_size,
+    largest_scc_fraction,
+    strongly_connected_components,
+)
+
+
+class TestScc:
+    def test_cycle_is_one_component(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 1)])
+        comps = strongly_connected_components(g)
+        assert comps == [{1, 2, 3}]
+
+    def test_chain_is_singletons(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_two_cycles_with_bridge(self):
+        g = DiGraph([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        comps = strongly_connected_components(g)
+        assert {1, 2} in comps and {3, 4} in comps
+        assert condensation_size(g) == 2
+
+    def test_mutual_dyads_merge(self):
+        g = DiGraph([(1, 2), (2, 1)])
+        assert largest_scc_fraction(g) == 1.0
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == []
+        assert largest_scc_fraction(DiGraph()) == 0.0
+
+    def test_deep_chain_no_recursion_limit(self):
+        # a 5000-node cycle would blow a recursive Tarjan
+        n = 5000
+        g = DiGraph((i, (i + 1) % n) for i in range(n))
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert len(comps[0]) == n
+
+    def test_largest_first_ordering(self):
+        g = DiGraph([(1, 2), (2, 1), (3, 4), (4, 5), (5, 3), (9, 1)])
+        comps = strongly_connected_components(g)
+        assert len(comps[0]) >= len(comps[-1])
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    max_size=80,
+)
+
+
+@given(edge_lists)
+def test_scc_matches_networkx(edges):
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for u, v in edges:
+        ours.add_edge(u, v)
+        theirs.add_edge(u, v)
+    mine = {frozenset(c) for c in strongly_connected_components(ours)}
+    ref = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+    assert mine == ref
+
+
+@given(edge_lists)
+def test_scc_partitions_vertices(edges):
+    g = DiGraph(edges) if edges else DiGraph()
+    comps = strongly_connected_components(g)
+    seen = set()
+    for c in comps:
+        assert not (seen & c)
+        seen |= c
+    assert seen == set(g.nodes())

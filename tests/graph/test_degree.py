@@ -1,0 +1,171 @@
+"""Unit tests for degree distributions and power-law diagnostics."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import DiGraph, DegreeDistribution, degree_distribution, powerlaw_fit
+from repro.graph.degree import degrees_of
+
+
+def star_digraph(n_leaves):
+    """Hub 0 points at every leaf."""
+    return DiGraph([(0, i) for i in range(1, n_leaves + 1)])
+
+
+class TestDegreesOf:
+    def test_in_out_total(self):
+        g = DiGraph([(1, 2), (2, 1), (3, 1)])
+        assert degrees_of(g, "in", [1]) == [2]
+        assert degrees_of(g, "out", [1]) == [1]
+        assert degrees_of(g, "total", [1]) == [2]  # union of {2} and {2,3}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            degrees_of(DiGraph(), "sideways")
+
+    def test_restricted_node_set(self):
+        g = star_digraph(4)
+        assert degrees_of(g, "out", [0]) == [4]
+        assert degrees_of(g, "out", [1, 2]) == [0, 0]
+
+
+class TestDegreeDistribution:
+    def test_from_degrees(self):
+        d = DegreeDistribution.from_degrees([1, 1, 2, 3, 3, 3])
+        assert d.num_peers == 6
+        assert d.fraction(3) == pytest.approx(0.5)
+        assert d.fraction(99) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        d = DegreeDistribution.from_degrees([0, 1, 1, 5, 5, 5, 9])
+        assert sum(f for _, f in d.pmf()) == pytest.approx(1.0)
+
+    def test_ccdf_monotone(self):
+        d = DegreeDistribution.from_degrees([1, 2, 2, 3, 7])
+        ccdf = d.ccdf()
+        assert ccdf[0] == (1, 1.0)
+        values = [f for _, f in ccdf]
+        assert values == sorted(values, reverse=True)
+
+    def test_mean_and_max(self):
+        d = DegreeDistribution.from_degrees([2, 4, 6])
+        assert d.mean() == pytest.approx(4.0)
+        assert d.max_degree() == 6
+
+    def test_mode_ignores_below_min_degree(self):
+        d = DegreeDistribution.from_degrees([0] * 10 + [5] * 4 + [7] * 2)
+        assert d.mode(min_degree=1) == 5
+        assert d.mode(min_degree=6) == 7
+
+    def test_quantile(self):
+        d = DegreeDistribution.from_degrees([1, 2, 3, 4])
+        assert d.quantile(0.25) == 1
+        assert d.quantile(0.5) == 2
+        assert d.quantile(1.0) == 4
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_drop_point(self):
+        degrees = [10] * 500 + [23] * 10 + [40] * 1
+        d = DegreeDistribution.from_degrees(degrees)
+        assert d.drop_point(fraction_floor=5e-3) == 23
+
+    def test_empty(self):
+        d = DegreeDistribution.from_degrees([])
+        assert d.num_peers == 0
+        assert d.pmf() == []
+        assert d.mean() == 0.0
+        assert d.mode() == 0
+
+    def test_degree_distribution_of_graph(self):
+        g = star_digraph(5)
+        dist = degree_distribution(g, "total")
+        assert dist.fraction(5) == pytest.approx(1 / 6)
+        assert dist.fraction(1) == pytest.approx(5 / 6)
+
+
+class TestPowerLawFit:
+    def test_synthetic_powerlaw_detected(self):
+        # P(d) ~ d^-2 for d in 1..100, sampled exactly (no noise).
+        weights = {d: d**-2.0 for d in range(1, 101)}
+        total = sum(weights.values())
+        counts = {d: max(1, round(1_000_000 * w / total)) for d, w in weights.items()}
+        degrees = [d for d, c in counts.items() for _ in range(c)]
+        fit = powerlaw_fit(DegreeDistribution.from_degrees(degrees))
+        assert fit.exponent == pytest.approx(-2.0, abs=0.1)
+        assert fit.is_plausible_powerlaw
+
+    def test_spiked_distribution_rejected(self):
+        # A normal-ish spike around 10 (like UUSee indegree) is not a power law.
+        rng = random.Random(0)
+        degrees = [max(1, round(rng.gauss(10, 2))) for _ in range(20000)]
+        fit = powerlaw_fit(DegreeDistribution.from_degrees(degrees))
+        assert not fit.is_plausible_powerlaw
+
+    def test_degenerate_inputs(self):
+        assert powerlaw_fit(DegreeDistribution.from_degrees([])).num_points == 0
+        single = powerlaw_fit(DegreeDistribution.from_degrees([3, 3, 3]))
+        assert single.num_points == 1
+        assert not single.is_plausible_powerlaw
+
+    def test_fit_intercept_consistency(self):
+        weights = {d: d**-1.5 for d in range(1, 51)}
+        total = sum(weights.values())
+        counts = {d: max(1, round(500_000 * w / total)) for d, w in weights.items()}
+        degrees = [d for d, c in counts.items() for _ in range(c)]
+        fit = powerlaw_fit(DegreeDistribution.from_degrees(degrees))
+        # Reconstruct P(1) from the fit: log10 P(1) = intercept.
+        dist = DegreeDistribution.from_degrees(degrees)
+        assert fit.intercept == pytest.approx(math.log10(dist.fraction(1)), abs=0.2)
+
+
+class TestMlePowerLaw:
+    def test_recovers_known_exponent(self):
+        from repro.graph.degree import mle_powerlaw_alpha
+        import random
+
+        rng = random.Random(0)
+        # floored continuous Pareto with exponent 2.5; the discrete MLE
+        # converges to the true exponent once x_min clears the
+        # discretisation bias near 1
+        degrees = []
+        while len(degrees) < 40000:
+            x = int((1.0 - rng.random()) ** (-1.0 / (2.5 - 1.0)))
+            if 1 <= x <= 10_000:
+                degrees.append(x)
+        dist = DegreeDistribution.from_degrees(degrees)
+        alpha, n = mle_powerlaw_alpha(dist, min_degree=5)
+        assert n > 2000
+        assert alpha == pytest.approx(2.5, abs=0.2)
+
+    def test_degenerate_inputs(self):
+        from repro.graph.degree import mle_powerlaw_alpha
+
+        alpha, n = mle_powerlaw_alpha(DegreeDistribution.from_degrees([]))
+        assert (alpha, n) == (0.0, 0)
+        alpha, n = mle_powerlaw_alpha(DegreeDistribution.from_degrees([5]))
+        assert alpha == 0.0 and n == 1
+
+    def test_min_degree_restricts_tail(self):
+        from repro.graph.degree import mle_powerlaw_alpha
+
+        degrees = [1] * 1000 + [10, 20, 40, 80]
+        full_alpha, _ = mle_powerlaw_alpha(DegreeDistribution.from_degrees(degrees))
+        tail_alpha, tail_n = mle_powerlaw_alpha(
+            DegreeDistribution.from_degrees(degrees), min_degree=10
+        )
+        assert tail_n == 4
+        assert tail_alpha != full_alpha
+
+    def test_spiked_distribution_shallow_alpha(self):
+        from repro.graph.degree import mle_powerlaw_alpha
+        import random
+
+        rng = random.Random(1)
+        degrees = [max(1, round(rng.gauss(10, 2))) for _ in range(20000)]
+        alpha, _ = mle_powerlaw_alpha(DegreeDistribution.from_degrees(degrees))
+        # a spike at 10 yields a shallow pseudo-exponent, nothing like
+        # the >2 of genuine power-law topologies
+        assert alpha < 2.0

@@ -1,0 +1,164 @@
+"""Unit tests for the Graph / DiGraph containers."""
+
+import pytest
+
+from repro.graph import DiGraph, Graph
+
+
+class TestGraph:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert len(g) == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_add_nodes_and_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)  # undirected
+        assert not g.has_edge(1, 3)
+        assert 1 in g and 4 not in g
+
+    def test_construct_from_edges(self):
+        g = Graph([(1, 2), (2, 3), (1, 2)])
+        assert g.num_edges == 2  # duplicate collapsed
+
+    def test_duplicate_edge_not_double_counted(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(5, 5)
+
+    def test_degree_and_neighbors(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+        assert g.neighbors(1) == {2, 3, 4}
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.num_nodes == 3  # nodes remain
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_remove_node(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        g.remove_node(1)
+        assert 1 not in g
+        assert g.num_edges == 1
+        assert g.has_edge(2, 3)
+
+    def test_edges_each_once(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalised = {frozenset(e) for e in edges}
+        assert normalised == {frozenset((1, 2)), frozenset((2, 3)), frozenset((3, 1))}
+
+    def test_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        g = Graph([(1, 2)])
+        sub = g.subgraph([1, 2, 99])
+        assert sub.num_nodes == 2
+
+    def test_density(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])  # triangle: complete
+        assert g.density() == pytest.approx(1.0)
+        assert Graph().density() == 0.0
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node("x")
+        assert g.degree("x") == 0
+        assert g.num_nodes == 1
+
+
+class TestDiGraph:
+    def test_directed_edges(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert g.out_degree("a") == 1
+        assert g.in_degree("a") == 0
+        assert g.in_degree("b") == 1
+
+    def test_successors_predecessors(self):
+        g = DiGraph([(1, 2), (1, 3), (4, 1)])
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(1) == {4}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph([(1, 1)])
+
+    def test_remove_edge_direction_matters(self):
+        g = DiGraph([(1, 2), (2, 1)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_remove_node_updates_both_directions(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 1)])
+        g.remove_node(2)
+        assert g.num_edges == 1
+        assert g.has_edge(3, 1)
+        assert g.successors(1) == set()
+
+    def test_remove_node_with_bilateral_edges(self):
+        g = DiGraph([(1, 2), (2, 1), (1, 3)])
+        g.remove_node(1)
+        assert g.num_edges == 0
+        assert g.num_nodes == 2
+
+    def test_to_undirected_collapses_bilateral(self):
+        g = DiGraph([(1, 2), (2, 1), (2, 3)])
+        u = g.to_undirected()
+        assert u.num_edges == 2
+        assert u.has_edge(1, 2) and u.has_edge(2, 3)
+
+    def test_reverse(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        r = g.reverse()
+        assert r.has_edge(2, 1) and r.has_edge(3, 2)
+        assert r.num_edges == 2
+        assert r.num_nodes == 3
+
+    def test_subgraph(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 1)])
+        sub = g.subgraph({1, 2})
+        assert sub.num_edges == 1
+        assert sub.has_edge(1, 2)
+
+    def test_density(self):
+        g = DiGraph([(1, 2), (2, 1)])
+        assert g.density() == pytest.approx(1.0)
+        g.add_node(3)
+        assert g.density() == pytest.approx(2 / 6)
+
+    def test_total_neighbour_union(self):
+        g = DiGraph([(1, 2), (2, 1), (3, 1)])
+        both = g.successors(1) | g.predecessors(1)
+        assert both == {2, 3}

@@ -1,0 +1,150 @@
+"""Property-based tests for the graph substrate (hypothesis).
+
+Each property cross-validates an invariant or a networkx equivalence on
+randomly generated edge lists.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DiGraph,
+    Graph,
+    average_clustering,
+    average_shortest_path_length,
+    connected_components,
+    degree_distribution,
+    edge_reciprocity,
+    raw_reciprocity,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)).filter(lambda e: e[0] != e[1]),
+    max_size=120,
+)
+
+
+def build_pair_directed(edges):
+    ours, theirs = DiGraph(), nx.DiGraph()
+    for u, v in edges:
+        ours.add_edge(u, v)
+        theirs.add_edge(u, v)
+    return ours, theirs
+
+
+def build_pair_undirected(edges):
+    ours, theirs = Graph(), nx.Graph()
+    for u, v in edges:
+        ours.add_edge(u, v)
+        theirs.add_edge(u, v)
+    return ours, theirs
+
+
+@given(edge_lists)
+def test_digraph_counts_match_networkx(edges):
+    ours, theirs = build_pair_directed(edges)
+    assert ours.num_nodes == theirs.number_of_nodes()
+    assert ours.num_edges == theirs.number_of_edges()
+    for n in theirs.nodes():
+        assert ours.in_degree(n) == theirs.in_degree(n)
+        assert ours.out_degree(n) == theirs.out_degree(n)
+
+
+@given(edge_lists)
+def test_undirected_counts_match_networkx(edges):
+    ours, theirs = build_pair_undirected(edges)
+    assert ours.num_nodes == theirs.number_of_nodes()
+    assert ours.num_edges == theirs.number_of_edges()
+
+
+@given(edge_lists)
+def test_reciprocity_matches_networkx(edges)  :
+    ours, theirs = build_pair_directed(edges)
+    if ours.num_edges == 0:
+        assert raw_reciprocity(ours) == 0.0
+    else:
+        assert raw_reciprocity(ours) == pytest.approx(nx.overall_reciprocity(theirs))
+
+
+@given(edge_lists)
+def test_edge_reciprocity_bounds(edges):
+    ours, _ = build_pair_directed(edges)
+    rho = edge_reciprocity(ours)
+    assert -1.0 <= rho <= 1.0
+
+
+@given(edge_lists)
+def test_clustering_matches_networkx(edges):
+    ours, theirs = build_pair_undirected(edges)
+    if ours.num_nodes == 0:
+        assert average_clustering(ours) == 0.0
+    else:
+        assert average_clustering(ours) == pytest.approx(
+            nx.average_clustering(theirs), abs=1e-9
+        )
+
+
+@given(edge_lists)
+@settings(max_examples=40)
+def test_path_length_matches_networkx_on_lcc(edges):
+    ours, theirs = build_pair_undirected(edges)
+    comps = connected_components(ours)
+    if not comps or len(comps[0]) < 2:
+        assert average_shortest_path_length(ours) == 0.0
+        return
+    nx_lcc = theirs.subgraph(max(nx.connected_components(theirs), key=len))
+    assert average_shortest_path_length(ours) == pytest.approx(
+        nx.average_shortest_path_length(nx_lcc)
+    )
+
+
+@given(edge_lists)
+def test_components_partition_nodes(edges):
+    ours, _ = build_pair_undirected(edges)
+    comps = connected_components(ours)
+    all_nodes = set()
+    total = 0
+    for c in comps:
+        all_nodes |= c
+        total += len(c)
+    assert total == ours.num_nodes
+    assert all_nodes == set(ours.nodes())
+
+
+@given(edge_lists)
+def test_to_undirected_degree_bound(edges):
+    ours, _ = build_pair_directed(edges)
+    und = ours.to_undirected()
+    assert und.num_edges <= ours.num_edges
+    for n in ours.nodes():
+        assert und.degree(n) == len(ours.successors(n) | ours.predecessors(n))
+
+
+@given(edge_lists)
+def test_degree_distribution_total_mass(edges):
+    ours, _ = build_pair_directed(edges)
+    for kind in ("in", "out", "total"):
+        dist = degree_distribution(ours, kind)
+        assert dist.num_peers == ours.num_nodes
+        if ours.num_nodes:
+            assert sum(f for _, f in dist.pmf()) == pytest.approx(1.0)
+
+
+@given(edge_lists)
+def test_subgraph_is_induced(edges):
+    ours, _ = build_pair_directed(edges)
+    nodes = [n for i, n in enumerate(ours.nodes()) if i % 2 == 0]
+    sub = ours.subgraph(nodes)
+    keep = set(nodes)
+    expected = sum(1 for u, v in ours.edges() if u in keep and v in keep)
+    assert sub.num_edges == expected
+
+
+@given(edge_lists)
+def test_reverse_involution(edges):
+    ours, _ = build_pair_directed(edges)
+    double = ours.reverse().reverse()
+    assert set(double.edges()) == set(ours.edges())
+    assert raw_reciprocity(ours) == pytest.approx(raw_reciprocity(ours.reverse()))

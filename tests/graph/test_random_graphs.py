@@ -1,0 +1,70 @@
+"""Unit tests for the seeded random-graph baselines."""
+
+import pytest
+
+from repro.graph import DiGraph, Graph, gnm_random_graph, gnp_random_graph
+from repro.graph.random_graphs import matched_random_graph
+
+
+class TestGnm:
+    def test_exact_counts_undirected(self):
+        g = gnm_random_graph(50, 120, seed=1)
+        assert isinstance(g, Graph)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_exact_counts_directed(self):
+        g = gnm_random_graph(30, 200, seed=1, directed=True)
+        assert isinstance(g, DiGraph)
+        assert g.num_edges == 200
+
+    def test_deterministic_per_seed(self):
+        a = gnm_random_graph(40, 80, seed=7)
+        b = gnm_random_graph(40, 80, seed=7)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_different_seeds_differ(self):
+        a = gnm_random_graph(40, 80, seed=1)
+        b = gnm_random_graph(40, 80, seed=2)
+        assert set(map(frozenset, a.edges())) != set(map(frozenset, b.edges()))
+
+    def test_m_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7)  # max undirected edges is 6
+        gnm_random_graph(4, 7, directed=True)  # fine directed (max 12)
+
+    def test_complete_graph_edge_case(self):
+        g = gnm_random_graph(5, 10, seed=0)
+        assert g.density() == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(-1, 0)
+
+
+class TestGnp:
+    def test_p_zero_and_one(self):
+        empty = gnp_random_graph(10, 0.0, seed=0)
+        assert empty.num_edges == 0
+        full = gnp_random_graph(10, 1.0, seed=0)
+        assert full.num_edges == 45
+
+    def test_expected_edge_count(self):
+        g = gnp_random_graph(100, 0.1, seed=3)
+        assert 350 <= g.num_edges <= 650  # mean 495
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_directed_flag(self):
+        g = gnp_random_graph(20, 0.2, seed=4, directed=True)
+        assert isinstance(g, DiGraph)
+
+
+class TestMatched:
+    def test_matched_random_graph(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)])
+        r = matched_random_graph(g, seed=5)
+        assert r.num_nodes == g.num_nodes
+        assert r.num_edges == g.num_edges

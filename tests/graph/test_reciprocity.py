@@ -1,0 +1,71 @@
+"""Unit tests for raw and Garlaschelli-Loffredo reciprocity."""
+
+import pytest
+
+from repro.graph import DiGraph, edge_reciprocity, raw_reciprocity
+
+
+class TestRawReciprocity:
+    def test_empty_graph(self):
+        assert raw_reciprocity(DiGraph()) == 0.0
+
+    def test_fully_bilateral(self):
+        g = DiGraph([(1, 2), (2, 1), (2, 3), (3, 2)])
+        assert raw_reciprocity(g) == pytest.approx(1.0)
+
+    def test_tree_has_zero(self):
+        g = DiGraph([(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert raw_reciprocity(g) == 0.0
+
+    def test_half_bilateral(self):
+        g = DiGraph([(1, 2), (2, 1), (3, 4)])
+        assert raw_reciprocity(g) == pytest.approx(2 / 3)
+
+
+class TestEdgeReciprocity:
+    def test_tree_is_antireciprocal(self):
+        # Eq. 2: r=0 so rho = -abar/(1-abar) < 0.
+        g = DiGraph([(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+        rho = edge_reciprocity(g)
+        abar = g.density()
+        assert rho == pytest.approx(-abar / (1 - abar))
+        assert rho < 0
+
+    def test_bilateral_graph_is_reciprocal(self):
+        g = DiGraph([(1, 2), (2, 1), (2, 3), (3, 2), (1, 4)])
+        assert edge_reciprocity(g) > 0.5
+
+    def test_random_graph_near_zero(self):
+        import random
+
+        rng = random.Random(2)
+        g = DiGraph()
+        n = 200
+        for _ in range(1500):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                g.add_edge(u, v)
+        assert abs(edge_reciprocity(g)) < 0.05
+
+    def test_empty_and_complete_degenerate(self):
+        assert edge_reciprocity(DiGraph()) == 0.0
+        g = DiGraph([(1, 2), (2, 1)])  # density 1
+        assert edge_reciprocity(g) == 0.0
+
+    def test_matches_networkx_overall_reciprocity(self):
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(9)
+        ours = DiGraph()
+        theirs = nx.DiGraph()
+        for _ in range(400):
+            u, v = rng.randrange(50), rng.randrange(50)
+            if u == v:
+                continue
+            ours.add_edge(u, v)
+            theirs.add_edge(u, v)
+        assert raw_reciprocity(ours) == pytest.approx(
+            nx.overall_reciprocity(theirs), abs=1e-12
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for small-world metrics."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, small_world_metrics
+from repro.graph.smallworld import SmallWorldMetrics
+
+
+def caveman_graph(num_caves, cave_size, rng):
+    """Dense caves plus sparse inter-cave links: a canonical small world."""
+    g = Graph()
+    for c in range(num_caves):
+        members = [c * cave_size + i for i in range(cave_size)]
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                g.add_edge(u, v)
+    n = num_caves * cave_size
+    for c in range(num_caves):
+        # a few rewired links from each cave to random vertices elsewhere
+        for u in (c * cave_size, c * cave_size + 1, c * cave_size + 2):
+            v = rng.randrange(n)
+            if v // cave_size != c:
+                g.add_edge(u, v)
+    return g
+
+
+class TestSmallWorldMetrics:
+    def test_caveman_is_small_world(self):
+        g = caveman_graph(30, 6, random.Random(1))
+        m = small_world_metrics(g, seed=0)
+        assert m.clustering_ratio > 10
+        assert m.path_length_ratio < 3
+        assert m.is_small_world(max_path_ratio=3)
+
+    def test_random_graph_is_not_small_world(self):
+        from repro.graph import gnm_random_graph
+
+        g = gnm_random_graph(200, 600, seed=2)
+        m = small_world_metrics(g, seed=0)
+        assert m.clustering_ratio < 5
+        assert not m.is_small_world()
+
+    def test_metrics_fields(self):
+        g = caveman_graph(10, 5, random.Random(0))
+        m = small_world_metrics(g, seed=1)
+        assert m.num_nodes == g.num_nodes
+        assert m.num_edges == g.num_edges
+        assert m.clustering > 0
+        assert m.path_length > 1
+
+    def test_deterministic(self):
+        g = caveman_graph(10, 5, random.Random(3))
+        a = small_world_metrics(g, seed=4)
+        b = small_world_metrics(g, seed=4)
+        assert a == b
+
+    def test_ratio_edge_cases(self):
+        m = SmallWorldMetrics(
+            clustering=0.5,
+            path_length=3.0,
+            random_clustering=0.0,
+            random_path_length=0.0,
+            num_nodes=10,
+            num_edges=5,
+        )
+        assert m.clustering_ratio == float("inf")
+        assert m.path_length_ratio == 0.0
+        assert not m.is_small_world()

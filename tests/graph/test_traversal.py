@@ -1,0 +1,104 @@
+"""Unit tests for BFS, components and path-length estimation."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_shortest_path_length,
+    bfs_distances,
+    connected_components,
+    largest_component,
+)
+
+
+def path_graph(n):
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestBfs:
+    def test_path_distances(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_not_included(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert 3 not in bfs_distances(g, 1)
+
+    def test_cycle(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == 2
+        assert dist[1] == dist[3] == 1
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path_graph(4)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert comps[0] == {0, 1, 2, 3}
+
+    def test_multiple_components_sorted_by_size(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        g.add_node(99)
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1]
+
+    def test_largest_component_subgraph(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        lcc = largest_component(g)
+        assert lcc.num_nodes == 3
+        assert lcc.has_edge(0, 1)
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+        assert largest_component(Graph()).num_nodes == 0
+
+
+class TestAveragePathLength:
+    def test_path_graph_exact(self):
+        # P4 distances: 1,2,3,1,2,1 -> mean 10/6
+        g = path_graph(4)
+        assert average_shortest_path_length(g) == pytest.approx(10 / 6)
+
+    def test_complete_graph(self):
+        g = Graph()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        assert average_shortest_path_length(g) == pytest.approx(1.0)
+
+    def test_restricted_to_largest_component(self):
+        g = Graph([(0, 1), (10, 11), (11, 12)])
+        # largest component is the path 10-11-12: mean = (1+2+1)/3
+        assert average_shortest_path_length(g) == pytest.approx(4 / 3)
+
+    def test_trivial_graphs(self):
+        assert average_shortest_path_length(Graph()) == 0.0
+        g = Graph()
+        g.add_node(1)
+        assert average_shortest_path_length(g) == 0.0
+
+    def test_sampled_estimate_close_to_exact(self):
+        import random
+
+        rng = random.Random(7)
+        g = Graph()
+        for _ in range(600):
+            u, v = rng.randrange(120), rng.randrange(120)
+            if u != v:
+                g.add_edge(u, v)
+        exact = average_shortest_path_length(g)
+        sampled = average_shortest_path_length(g, sample_sources=40, seed=3)
+        assert sampled == pytest.approx(exact, rel=0.15)
+
+    def test_sampling_is_deterministic(self):
+        g = path_graph(50)
+        a = average_shortest_path_length(g, sample_sources=10, seed=5)
+        b = average_shortest_path_length(g, sample_sources=10, seed=5)
+        assert a == b

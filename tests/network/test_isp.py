@@ -1,0 +1,96 @@
+"""Unit tests for the ISP registry and mapping database."""
+
+import pytest
+
+from repro.network import DEFAULT_ISPS, IspDatabase, build_default_database
+from repro.network.ip import CidrBlock, parse_ip
+from repro.network.isp import DEFAULT_SHARES, OVERSEAS, Isp, build_default_registry
+
+
+class TestRegistry:
+    def test_default_shares_sum_to_one(self):
+        assert sum(DEFAULT_SHARES.values()) == pytest.approx(1.0)
+
+    def test_all_categories_present(self):
+        names = {isp.name for isp in DEFAULT_ISPS}
+        assert names == set(DEFAULT_SHARES)
+
+    def test_telecom_dominates_netcom_second(self):
+        by_share = sorted(DEFAULT_ISPS, key=lambda i: i.share, reverse=True)
+        assert by_share[0].name == "China Telecom"
+        assert by_share[1].name == "China Netcom"
+
+    def test_block_allocation_tracks_share(self):
+        china = [isp for isp in DEFAULT_ISPS if isp.is_china]
+        total_blocks = sum(len(isp.blocks) for isp in china)
+        china_share = sum(isp.share for isp in china)
+        for isp in china:
+            realised = len(isp.blocks) / total_blocks
+            target = isp.share / china_share
+            assert realised == pytest.approx(target, abs=0.02)
+
+    def test_overseas_not_china(self):
+        overseas = next(isp for isp in DEFAULT_ISPS if isp.name == OVERSEAS)
+        assert not overseas.is_china
+        assert len(overseas.blocks) > 0
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            build_default_registry({"China Telecom": 0.5, OVERSEAS: 0.4})
+        with pytest.raises(ValueError):
+            build_default_registry({"China Telecom": 1.0})
+
+    def test_isp_allocator(self):
+        isp = DEFAULT_ISPS[0]
+        alloc = isp.allocator(seed=1)
+        addr = alloc.allocate()
+        assert any(addr in b for b in isp.blocks)
+
+
+class TestIspDatabase:
+    def test_lookup_hits_owning_isp(self):
+        db = build_default_database()
+        for isp in DEFAULT_ISPS:
+            block = isp.blocks[0]
+            assert db.lookup(block.base) == isp.name
+            assert db.lookup(block.last) == isp.name
+            assert db.lookup(block.address(block.size // 2)) == isp.name
+
+    def test_unmapped_address(self):
+        db = build_default_database()
+        assert db.lookup(parse_ip("9.9.9.9")) is None
+        assert db.lookup(0) is None
+
+    def test_is_china(self):
+        db = build_default_database()
+        telecom = db.isp("China Telecom")
+        overseas = db.isp(OVERSEAS)
+        assert db.is_china(telecom.blocks[0].base)
+        assert not db.is_china(overseas.blocks[0].base)
+        assert not db.is_china(parse_ip("9.9.9.9"))
+
+    def test_same_isp(self):
+        db = build_default_database()
+        telecom = db.isp("China Telecom")
+        netcom = db.isp("China Netcom")
+        a = telecom.blocks[0].base
+        b = telecom.blocks[1].base
+        c = netcom.blocks[0].base
+        assert db.same_isp(a, b)
+        assert not db.same_isp(a, c)
+        assert not db.same_isp(a, parse_ip("9.9.9.9"))
+
+    def test_overlapping_blocks_rejected(self):
+        overlapping = [
+            Isp("A", 0.5, True, (CidrBlock.parse("10.0.0.0/8"),)),
+            Isp("B", 0.5, True, (CidrBlock.parse("10.128.0.0/9"),)),
+        ]
+        with pytest.raises(ValueError):
+            IspDatabase(overlapping)
+
+    def test_every_allocated_address_maps_back(self):
+        db = build_default_database()
+        for isp in DEFAULT_ISPS:
+            alloc = isp.allocator(seed=7)
+            for _ in range(50):
+                assert db.lookup(alloc.allocate()) == isp.name

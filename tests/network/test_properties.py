@@ -1,0 +1,59 @@
+"""Property-based tests for the network substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import build_default_database, format_ip, parse_ip
+from repro.network.ip import CidrBlock, IpAllocator
+
+DB = build_default_database()
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_ip_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_database_lookup_consistent_with_blocks(address):
+    name = DB.lookup(address)
+    if name is None:
+        for isp in DB.isps:
+            assert not any(address in block for block in isp.blocks)
+    else:
+        isp = DB.isp(name)
+        assert any(address in block for block in isp.blocks)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+def test_same_isp_symmetric(a, b):
+    assert DB.same_isp(a, b) == DB.same_isp(b, a)
+
+
+@given(
+    st.integers(0, 255),
+    st.integers(24, 30),
+    st.integers(0, 2**31),
+    st.integers(1, 40),
+)
+@settings(max_examples=60)
+def test_allocator_uniqueness_and_membership(octet, prefix, seed, n):
+    block = CidrBlock(octet << 24, prefix)
+    alloc = IpAllocator([block], seed=seed)
+    count = min(n, block.size)
+    addresses = [alloc.allocate() for _ in range(count)]
+    assert len(set(addresses)) == count
+    assert all(a in block for a in addresses)
+
+
+@given(st.integers(0, 2**31))
+def test_allocator_release_restores_capacity(seed):
+    block = CidrBlock.parse("10.0.0.0/29")  # 8 addresses
+    alloc = IpAllocator([block], seed=seed)
+    taken = [alloc.allocate() for _ in range(8)]
+    with pytest.raises(RuntimeError):
+        alloc.allocate()
+    alloc.release(taken[3])
+    again = alloc.allocate()
+    assert again == taken[3]

@@ -1,0 +1,115 @@
+"""Tests for the block-accurate swarm data plane."""
+
+import statistics
+
+import pytest
+
+from repro.simulator.blocks import BlockSwarm, SwarmConfig
+
+
+def small_swarm(**overrides):
+    fields = dict(num_peers=30, seed=3)
+    fields.update(overrides)
+    return BlockSwarm(SwarmConfig(**fields))
+
+
+class TestConstruction:
+    def test_mesh_built(self):
+        swarm = small_swarm()
+        viewers = [p for p in swarm.peers.values() if not p.is_server]
+        assert len(viewers) == 30
+        assert all(p.partners for p in viewers)
+        # partnerships are mutual
+        for p in viewers:
+            for q in p.partners:
+                assert p.peer_id in swarm.peers[q].partners
+
+    def test_server_knows_some_peers(self):
+        swarm = small_swarm()
+        assert swarm.server.is_server
+        assert len(swarm.server.partners) > 0
+
+    def test_upload_heterogeneity(self):
+        swarm = small_swarm(upload_spread=0.5)
+        budgets = [
+            p.upload_budget_segments
+            for p in swarm.peers.values()
+            if not p.is_server
+        ]
+        assert max(budgets) > 1.3 * min(budgets)
+
+
+class TestStreaming:
+    def test_high_continuity_with_ample_capacity(self):
+        swarm = small_swarm(mean_upload_kbps=1000.0)
+        swarm.run(600)
+        assert swarm.continuity_index() > 0.9
+
+    def test_starvation_when_undersupplied(self):
+        # aggregate upload below the stream rate: distribution must fail
+        swarm = small_swarm(mean_upload_kbps=150.0, server_upload_kbps=800.0)
+        swarm.run(600)
+        assert swarm.continuity_index() < 0.7
+
+    def test_playback_waits_for_startup_delay(self):
+        swarm = small_swarm()
+        swarm.run(swarm.config.startup_delay_segments)
+        viewers = [p for p in swarm.peers.values() if not p.is_server]
+        assert all(p.played == 0 and p.stalled == 0 for p in viewers)
+
+    def test_head_advances_per_tick(self):
+        swarm = small_swarm()
+        swarm.run(50)
+        assert swarm.head == 50
+        assert swarm.ticks == 50
+
+    def test_budget_respected_per_tick(self):
+        swarm = small_swarm()
+        sent_before = {
+            pid: sum(p.sent_to.values()) for pid, p in swarm.peers.items()
+        }
+        swarm.run(1)
+        for pid, peer in swarm.peers.items():
+            delta = sum(peer.sent_to.values()) - sent_before[pid]
+            assert delta <= peer.upload_budget_segments + 1e-9
+
+
+class TestObservables:
+    @pytest.fixture(scope="class")
+    def warm_swarm(self):
+        swarm = BlockSwarm(SwarmConfig(num_peers=40, seed=7))
+        swarm.run(900)
+        return swarm
+
+    def test_reciprocal_exchange(self, warm_swarm):
+        assert warm_swarm.reciprocity() > 0.3
+
+    def test_indegree_far_below_partner_count(self, warm_swarm):
+        indegrees = warm_swarm.active_indegrees(threshold=60)
+        partner_counts = [
+            len(p.partners)
+            for p in warm_swarm.peers.values()
+            if not p.is_server
+        ]
+        # with a strict threshold, most supply concentrates on few links
+        assert statistics.mean(indegrees) < statistics.mean(partner_counts)
+
+    def test_outdegree_tail_follows_capacity(self, warm_swarm):
+        viewers = [p for p in warm_swarm.peers.values() if not p.is_server]
+        by_capacity = sorted(viewers, key=lambda p: p.upload_budget_segments)
+        slow = by_capacity[: len(viewers) // 3]
+        fast = by_capacity[-len(viewers) // 3 :]
+        sent_slow = statistics.mean(sum(p.sent_to.values()) for p in slow)
+        sent_fast = statistics.mean(sum(p.sent_to.values()) for p in fast)
+        assert sent_fast > sent_slow
+
+    def test_server_share_small_in_healthy_swarm(self, warm_swarm):
+        assert warm_swarm.server_share() < 0.3
+
+    def test_deterministic(self):
+        a = BlockSwarm(SwarmConfig(num_peers=25, seed=11))
+        b = BlockSwarm(SwarmConfig(num_peers=25, seed=11))
+        a.run(300)
+        b.run(300)
+        assert a.continuity_index() == b.continuity_index()
+        assert a.active_indegrees() == b.active_indegrees()

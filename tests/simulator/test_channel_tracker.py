@@ -1,0 +1,137 @@
+"""Unit tests for the channel catalogue, tracker and SampleableSet."""
+
+import random
+
+import pytest
+
+from repro.simulator import Channel, ChannelCatalogue, Tracker, default_catalogue
+from repro.simulator.util import SampleableSet
+
+
+class TestChannelCatalogue:
+    def test_default_catalogue_shares(self):
+        cat = default_catalogue()
+        assert sum(c.share for c in cat) == pytest.approx(1.0)
+        cctv1 = cat.by_name("CCTV1")
+        cctv4 = cat.by_name("CCTV4")
+        assert cctv1.share == pytest.approx(5 * cctv4.share)  # paper: 5x viewers
+
+    def test_default_rate_400kbps(self):
+        cat = default_catalogue()
+        assert all(c.rate_kbps == 400.0 for c in cat)
+
+    def test_sampling_matches_shares(self):
+        cat = default_catalogue()
+        rng = random.Random(0)
+        draws = [cat.sample(rng).name for _ in range(20000)]
+        frac = draws.count("CCTV1") / len(draws)
+        assert frac == pytest.approx(0.30, abs=0.02)
+
+    def test_get_and_by_name(self):
+        cat = default_catalogue()
+        assert cat.get(0).name == "CCTV1"
+        with pytest.raises(KeyError):
+            cat.by_name("nope")
+
+    def test_invalid_catalogues(self):
+        with pytest.raises(ValueError):
+            ChannelCatalogue([])
+        with pytest.raises(ValueError):
+            ChannelCatalogue([Channel(0, "a", 400, 0.5)])  # shares != 1
+        with pytest.raises(ValueError):
+            ChannelCatalogue(
+                [Channel(0, "a", 400, 0.5), Channel(0, "b", 400, 0.5)]
+            )  # dup ids
+
+
+class TestSampleableSet:
+    def test_add_discard_contains(self):
+        s = SampleableSet([1, 2, 3])
+        assert 2 in s and len(s) == 3
+        s.discard(2)
+        assert 2 not in s and len(s) == 2
+        s.discard(99)  # no-op
+        s.add(1)  # duplicate no-op
+        assert len(s) == 2
+
+    def test_sample_uniform_and_distinct(self):
+        s = SampleableSet(range(100))
+        rng = random.Random(1)
+        picked = s.sample(rng, 10)
+        assert len(picked) == len(set(picked)) == 10
+
+    def test_sample_exclude(self):
+        s = SampleableSet([1, 2])
+        rng = random.Random(2)
+        for _ in range(20):
+            assert 1 not in s.sample(rng, 5, exclude=1)
+
+    def test_sample_more_than_size(self):
+        s = SampleableSet([1, 2, 3])
+        rng = random.Random(3)
+        assert sorted(s.sample(rng, 10)) == [1, 2, 3]
+
+    def test_sample_empty(self):
+        assert SampleableSet().sample(random.Random(0), 5) == []
+
+    def test_discard_keeps_sampling_consistent(self):
+        s = SampleableSet(range(10))
+        for i in range(0, 10, 2):
+            s.discard(i)
+        rng = random.Random(4)
+        for _ in range(30):
+            assert all(x % 2 == 1 for x in s.sample(rng, 3))
+
+
+class TestTracker:
+    def test_register_and_bootstrap_from_volunteers(self):
+        tr = Tracker(seed=0, server_probability=0.0)
+        for pid in range(1, 21):
+            tr.register(0, pid)
+        for pid in range(1, 11):
+            tr.volunteer(0, pid)
+        got = tr.bootstrap(0, 99, 5)
+        assert len(got) == 5
+        assert all(1 <= pid <= 10 for pid in got)
+
+    def test_bootstrap_excludes_requester(self):
+        tr = Tracker(seed=1, server_probability=0.0)
+        tr.register(0, 7)
+        tr.volunteer(0, 7)
+        assert tr.bootstrap(0, 7, 5) == []
+
+    def test_server_included_probabilistically(self):
+        tr = Tracker(seed=2, server_probability=1.0)
+        tr.add_server(0, 1000)
+        got = tr.bootstrap(0, 1, 5)
+        assert got == [1000]
+
+    def test_unregister_removes_volunteer(self):
+        tr = Tracker(seed=3, server_probability=0.0)
+        tr.register(0, 1)
+        tr.volunteer(0, 1)
+        tr.unregister(0, 1)
+        assert tr.volunteer_count(0) == 0
+        assert tr.member_count(0) == 0
+
+    def test_channels_isolated(self):
+        tr = Tracker(seed=4, server_probability=0.0)
+        tr.register(0, 1)
+        tr.volunteer(0, 1)
+        tr.register(1, 2)
+        tr.volunteer(1, 2)
+        assert tr.bootstrap(1, 99, 5) == [2]
+
+    def test_refresh_counts(self):
+        tr = Tracker(seed=5, server_probability=0.0)
+        tr.register(0, 1)
+        tr.volunteer(0, 1)
+        tr.refresh(0, 99, 3)
+        tr.bootstrap(0, 98, 3)
+        assert tr.refresh_requests == 1
+        assert tr.bootstrap_requests == 1
+
+    def test_unknown_channel_safe(self):
+        tr = Tracker(seed=6)
+        tr.unregister(42, 1)  # must not raise
+        assert tr.member_count(42) == 0

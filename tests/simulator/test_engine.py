@@ -1,0 +1,93 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator import EventEngine
+
+
+class TestEventEngine:
+    def test_schedule_and_run(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, fired.append, "a")
+        engine.schedule(1.0, fired.append, "b")
+        engine.schedule(3.0, fired.append, "c")
+        engine.run()
+        assert fired == ["b", "c", "a"]
+        assert engine.now == 5.0
+
+    def test_fifo_tie_break(self):
+        engine = EventEngine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(2.0, fired.append, tag)
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_run_until_stops_at_boundary(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, fired.append, 1)
+        engine.schedule(10.0, fired.append, 10)
+        engine.run_until(5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run_until(20.0)
+        assert fired == [1, 10]
+
+    def test_cancellation(self):
+        engine = EventEngine()
+        fired = []
+        keep = engine.schedule(1.0, fired.append, "keep")
+        drop = engine.schedule(2.0, fired.append, "drop")
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_pending_counts_only_live_events(self):
+        engine = EventEngine()
+        a = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        a.cancel()
+        assert engine.pending == 1
+
+    def test_past_scheduling_rejected(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, chain, n + 1)
+
+        engine.schedule(0.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_processed_counter(self):
+        engine = EventEngine()
+        for _ in range(4):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.processed == 4
+
+    def test_clock_monotone_with_start_time(self):
+        engine = EventEngine(start_time=100.0)
+        assert engine.now == 100.0
+        engine.schedule(2.5, lambda: None)
+        engine.run()
+        assert engine.now == 102.5

@@ -1,0 +1,92 @@
+"""Unit tests for Peer and Link state."""
+
+import pytest
+
+from repro.simulator.peer import Link, Peer
+
+
+def make_peer(peer_id=1, **overrides):
+    fields = dict(
+        ip=1000 + peer_id,
+        isp="China Telecom",
+        is_china=True,
+        channel_id=0,
+        upload_kbps=800.0,
+        download_kbps=4000.0,
+        class_name="cable",
+        join_time=100.0,
+        depart_time=5000.0,
+    )
+    fields.update(overrides)
+    return Peer(peer_id, **fields)
+
+
+class TestLink:
+    def test_initial_estimate_is_half_capacity(self):
+        link = Link(rtt_ms=30.0, cap_kbps=600.0)
+        assert link.est_kbps == pytest.approx(300.0)
+
+    def test_observe_throughput_ewma(self):
+        link = Link(rtt_ms=30.0, cap_kbps=100.0)
+        link.est_kbps = 80.0
+        link.observe_throughput(40.0, smoothing=0.5)
+        assert link.est_kbps == pytest.approx(60.0)
+        link.observe_throughput(40.0, smoothing=1.0)
+        assert link.est_kbps == pytest.approx(40.0)
+
+    def test_report_deltas(self):
+        link = Link(rtt_ms=30.0, cap_kbps=100.0)
+        link.sent_segments = 25.0
+        link.recv_segments = 13.0
+        assert link.unreported_deltas() == (25.0, 13.0)
+        link.mark_reported()
+        assert link.unreported_deltas() == (0.0, 0.0)
+        link.recv_segments += 7.0
+        assert link.unreported_deltas() == (0.0, 7.0)
+
+    def test_partner_ip_recorded(self):
+        link = Link(rtt_ms=1.0, cap_kbps=1.0, partner_ip=42)
+        assert link.partner_ip == 42
+
+
+class TestPeer:
+    def test_age(self):
+        peer = make_peer(join_time=100.0)
+        assert peer.age(700.0) == 600.0
+
+    def test_add_remove_partner(self):
+        peer = make_peer()
+        link = Link(rtt_ms=20.0, cap_kbps=500.0)
+        assert peer.add_partner(2, link)
+        assert not peer.add_partner(2, link)  # duplicate
+        assert not peer.add_partner(peer.peer_id, link)  # self
+        assert peer.partner_count == 1
+        peer.suppliers.add(2)
+        peer.remove_partner(2)
+        assert peer.partner_count == 0
+        assert 2 not in peer.suppliers
+
+    def test_remove_missing_partner_is_noop(self):
+        peer = make_peer()
+        peer.remove_partner(999)  # must not raise
+
+    def test_spare_upload(self):
+        peer = make_peer(upload_kbps=500.0)
+        peer.sent_rate_kbps = 420.0
+        assert peer.spare_upload_kbps() == pytest.approx(80.0)
+        peer.sent_rate_kbps = 600.0
+        assert peer.spare_upload_kbps() == 0.0
+
+    def test_server_defaults(self):
+        server = make_peer(is_server=True)
+        assert server.depth == 0
+        viewer = make_peer()
+        assert viewer.depth == 64  # unknown until supplied
+
+    def test_repr_mentions_kind(self):
+        assert "cable" in repr(make_peer())
+        assert "server" in repr(make_peer(is_server=True))
+
+    def test_initial_report_schedule_unset(self):
+        peer = make_peer()
+        assert peer.next_report == float("inf")

@@ -1,0 +1,121 @@
+"""Property-based tests for simulator data structures (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import BufferMap, EventEngine
+from repro.simulator.util import SampleableSet
+
+
+class TestSampleableSetProperties:
+    @given(st.lists(st.integers(0, 50)), st.lists(st.integers(0, 50)))
+    def test_behaves_like_a_set(self, adds, removes):
+        ours = SampleableSet()
+        model: set[int] = set()
+        for x in adds:
+            ours.add(x)
+            model.add(x)
+        for x in removes:
+            ours.discard(x)
+            model.discard(x)
+        assert len(ours) == len(model)
+        assert set(ours) == model
+        for x in model:
+            assert x in ours
+
+    @given(
+        st.sets(st.integers(0, 100), min_size=1, max_size=40),
+        st.integers(1, 50),
+        st.integers(0, 2**31),
+    )
+    def test_sample_invariants(self, items, k, seed):
+        s = SampleableSet(items)
+        rng = random.Random(seed)
+        picked = s.sample(rng, k)
+        assert len(picked) == len(set(picked))  # distinct
+        assert set(picked) <= items
+        if k >= len(items):
+            assert set(picked) == items
+
+    @given(
+        st.sets(st.integers(0, 30), min_size=2, max_size=20),
+        st.integers(0, 2**31),
+    )
+    def test_exclusion_respected(self, items, seed):
+        excluded = min(items)
+        s = SampleableSet(items)
+        rng = random.Random(seed)
+        for _ in range(5):
+            assert excluded not in s.sample(rng, len(items), exclude=excluded)
+
+
+class TestBufferMapProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 20)), max_size=60))
+    def test_fill_never_exceeds_window(self, operations):
+        b = BufferMap(window_segments=16)
+        for is_receive, count in operations:
+            if is_receive:
+                b.receive_segments(count)
+            else:
+                b.advance_playback(count)
+            assert 0 <= b.fill_count() <= 16
+            assert 0.0 <= b.fill_fraction() <= 1.0
+
+    @given(st.lists(st.integers(0, 30), max_size=30))
+    def test_receive_accounts_exactly(self, counts):
+        b = BufferMap(window_segments=32)
+        total_added = sum(b.receive_segments(c) for c in counts)
+        assert b.fill_count() == total_added
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 10)), max_size=60))
+    def test_playback_position_monotone(self, operations):
+        b = BufferMap(window_segments=8)
+        last = b.playback_position
+        for is_receive, count in operations:
+            if is_receive:
+                b.receive_segments(count)
+            else:
+                b.advance_playback(count)
+            assert b.playback_position >= last
+            last = b.playback_position
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 10)), max_size=40))
+    def test_bitmap_roundtrip_consistent(self, operations):
+        b = BufferMap(window_segments=12)
+        for is_receive, count in operations:
+            if is_receive:
+                b.receive_segments(count)
+            else:
+                b.advance_playback(count)
+        occupancy = BufferMap.occupancy_from_bitmap(b.to_bitmap(), 12)
+        assert occupancy == b.fill_count() / 12
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_events_fire_in_time_order(self, delays):
+        engine = EventEngine()
+        fired: list[float] = []
+        for d in delays:
+            engine.schedule(d, lambda t=d: fired.append(t))
+        engine.run()
+        assert fired == sorted(fired, key=lambda t: t)
+        assert len(fired) == len(delays)
+        assert engine.now == max(delays)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=50)
+    def test_run_until_boundary(self, delays, horizon):
+        engine = EventEngine()
+        fired: list[float] = []
+        for d in delays:
+            engine.schedule(d, lambda t=d: fired.append(t))
+        engine.run_until(horizon)
+        assert all(t <= horizon for t in fired)
+        assert len(fired) == sum(1 for d in delays if d <= horizon)

@@ -1,0 +1,59 @@
+"""Unit tests for tracker volunteer handout throttling."""
+
+from repro.simulator import Tracker
+
+
+def make_tracker(limit=3):
+    tr = Tracker(seed=0, server_probability=0.0, handout_limit=limit)
+    tr.register(0, 1)
+    tr.volunteer(0, 1)
+    return tr
+
+
+class TestHandoutThrottling:
+    def test_volunteer_delisted_after_limit(self):
+        tr = make_tracker(limit=3)
+        for _ in range(3):
+            assert tr.bootstrap(0, 99, 5) == [1]
+        assert tr.volunteer_count(0) == 0
+        assert tr.bootstrap(0, 99, 5) == []
+
+    def test_revolunteering_resets_budget(self):
+        tr = make_tracker(limit=2)
+        tr.bootstrap(0, 99, 5)
+        tr.bootstrap(0, 99, 5)
+        assert tr.volunteer_count(0) == 0
+        tr.volunteer(0, 1)  # peer re-asserts at its next tick
+        assert tr.volunteer_count(0) == 1
+        assert tr.bootstrap(0, 99, 5) == [1]
+
+    def test_servers_exempt_from_budget(self):
+        tr = Tracker(seed=1, server_probability=1.0, handout_limit=1)
+        tr.add_server(0, 500)
+        tr.register(0, 500)
+        tr.volunteer(0, 500)
+        for _ in range(5):
+            got = tr.bootstrap(0, 99, 5)
+            assert 500 in got  # server keeps being handed out
+
+    def test_unvolunteer_clears_budget_state(self):
+        tr = make_tracker(limit=5)
+        tr.bootstrap(0, 99, 5)
+        tr.unvolunteer(0, 1)
+        assert tr.volunteer_count(0) == 0
+        tr.volunteer(0, 1)
+        # fresh budget after re-listing
+        for _ in range(4):
+            assert tr.bootstrap(0, 99, 5) == [1]
+
+    def test_multiple_volunteers_drain_independently(self):
+        tr = Tracker(seed=2, server_probability=0.0, handout_limit=2)
+        for pid in (1, 2, 3):
+            tr.register(0, pid)
+            tr.volunteer(0, pid)
+        # drain the pool: 3 volunteers x 2 handouts = 6 total units
+        total_handouts = 0
+        for _ in range(10):
+            total_handouts += len(tr.bootstrap(0, 99, 3))
+        assert total_handouts == 6
+        assert tr.volunteer_count(0) == 0

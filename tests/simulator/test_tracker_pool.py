@@ -1,0 +1,81 @@
+"""Unit tests for the multi-tracker pool."""
+
+import pytest
+
+from repro.simulator.tracker import TrackerPool
+
+
+def pooled(n=3, **kwargs):
+    kwargs.setdefault("server_probability", 0.0)
+    return TrackerPool(n, seed=1, **kwargs)
+
+
+class TestTrackerPool:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            TrackerPool(0)
+        assert len(TrackerPool(4)) == 4
+
+    def test_home_tracker_partitioning(self):
+        pool = pooled(3)
+        for pid in range(30):
+            pool.register(0, pid)
+            pool.volunteer(0, pid)
+        assert pool.member_count(0) == 30
+        assert pool.volunteer_count(0) == 30
+        # each underlying tracker only sees its partition
+        per_tracker = [t.member_count(0) for t in pool._trackers]
+        assert per_tracker == [10, 10, 10]
+
+    def test_bootstrap_only_sees_home_partition(self):
+        pool = pooled(2, handout_limit=1000)
+        for pid in range(2, 40, 2):  # even ids -> tracker 0
+            pool.register(0, pid)
+            pool.volunteer(0, pid)
+        got = pool.bootstrap(0, 100, 50)  # peer 100 is even -> tracker 0
+        assert got and all(pid % 2 == 0 for pid in got)
+        assert pool.bootstrap(0, 101, 50) == []  # odd home tracker is empty
+
+    def test_unregister_routed_home(self):
+        pool = pooled(3)
+        pool.register(0, 7)
+        pool.volunteer(0, 7)
+        pool.unregister(0, 7)
+        assert pool.member_count(0) == 0
+        assert pool.volunteer_count(0) == 0
+
+    def test_servers_on_all_trackers(self):
+        pool = TrackerPool(3, seed=2, server_probability=1.0)
+        pool.add_server(0, 999)
+        for pid in (1, 2, 3):  # one peer per home tracker
+            got = pool.bootstrap(0, pid, 5)
+            assert 999 in got
+
+    def test_request_counters_aggregate(self):
+        pool = pooled(2)
+        pool.register(0, 1)
+        pool.volunteer(0, 1)
+        pool.bootstrap(0, 2, 3)
+        pool.bootstrap(0, 3, 3)
+        pool.refresh(0, 4, 3)
+        assert pool.bootstrap_requests == 2
+        assert pool.refresh_requests == 1
+
+    def test_system_runs_with_pool(self):
+        from repro.simulator import SystemConfig, UUSeeSystem
+        from repro.traces import InMemoryTraceStore
+
+        config = SystemConfig(
+            seed=5, base_concurrency=120.0, flash_crowd=None, num_trackers=3
+        )
+        system = UUSeeSystem(config, InMemoryTraceStore())
+        system.run(seconds=3 * 3600)
+        assert system.concurrent_peers() > 40
+        now = system.engine.now
+        stable = [
+            p
+            for p in system.peers.values()
+            if not p.is_server and p.age(now) >= 1200
+        ]
+        healthy = sum(1 for p in stable if p.recv_rate_kbps >= 0.9 * 400)
+        assert healthy / max(1, len(stable)) > 0.3  # still streams

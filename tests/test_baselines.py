@@ -1,0 +1,95 @@
+"""Tests for the Gnutella comparison baselines."""
+
+import statistics
+
+import pytest
+
+from repro.baselines import (
+    GnutellaConfig,
+    legacy_gnutella_snapshot,
+    modern_gnutella_snapshot,
+)
+from repro.baselines.gnutella import ultrapeer_ids
+from repro.graph import (
+    DegreeDistribution,
+    average_clustering,
+    largest_component,
+    powerlaw_fit,
+    small_world_metrics,
+)
+
+
+def degree_dist(graph, nodes=None):
+    targets = nodes if nodes is not None else list(graph.nodes())
+    return DegreeDistribution.from_degrees(graph.degree(n) for n in targets)
+
+
+class TestLegacyGnutella:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return legacy_gnutella_snapshot(GnutellaConfig(num_peers=3000, seed=1))
+
+    def test_size_and_connectivity(self, graph):
+        assert graph.num_nodes == 3000
+        assert largest_component(graph).num_nodes == 3000
+
+    def test_power_law_degrees(self, graph):
+        # the defining contrast with UUSee (paper Sec. 4.2.1)
+        dist = degree_dist(graph)
+        fit = powerlaw_fit(dist, min_degree=3)
+        assert fit.exponent < -1.2
+        assert fit.r_squared > 0.7  # strongly linear on log-log axes
+        assert dist.mode() == 3  # mass at the minimum degree, no spike
+
+    def test_heavy_tail_hubs(self, graph):
+        dist = degree_dist(graph)
+        assert dist.max_degree() > 15 * dist.quantile(0.5)
+
+    def test_small_world(self, graph):
+        m = small_world_metrics(graph, seed=0, path_sample_sources=32)
+        assert m.path_length_ratio < 1.5
+        assert m.clustering_ratio > 1.0
+
+    def test_deterministic(self):
+        a = legacy_gnutella_snapshot(GnutellaConfig(num_peers=400, seed=9))
+        b = legacy_gnutella_snapshot(GnutellaConfig(num_peers=400, seed=9))
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+
+class TestModernGnutella:
+    CFG = GnutellaConfig(num_peers=3000, seed=2)
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return modern_gnutella_snapshot(self.CFG)
+
+    def test_two_tier_structure(self, graph):
+        ultra = set(ultrapeer_ids(self.CFG))
+        leaves = [n for n in graph.nodes() if n not in ultra]
+        leaf_degrees = [graph.degree(n) for n in leaves]
+        assert statistics.mean(leaf_degrees) == pytest.approx(
+            self.CFG.leaf_parents, abs=0.2
+        )
+
+    def test_ultrapeer_spike_near_30(self, graph):
+        # Stutzbach et al.: the ultrapeer-to-ultrapeer degree is not a
+        # power law; it spikes near the client's target of 30
+        ultra = set(ultrapeer_ids(self.CFG))
+        top_mesh = graph.subgraph(ultra)
+        dist = degree_dist(top_mesh)
+        assert 24 <= dist.mode() <= 36
+        fit = powerlaw_fit(dist, min_degree=3)
+        assert not fit.is_plausible_powerlaw
+
+    def test_connected(self, graph):
+        assert largest_component(graph).num_nodes > 0.98 * graph.num_nodes
+
+    def test_random_mesh_clusters_weakly(self, graph):
+        # The ultrapeer mesh is wired nearly at random, so its clustering
+        # sits close to a matched random graph — unlike UUSee's gossip-built
+        # mesh (Fig. 7), which is an order of magnitude above random.
+        ultra = set(ultrapeer_ids(self.CFG))
+        ultra_graph = graph.subgraph(ultra)
+        m = small_world_metrics(ultra_graph, seed=3, path_sample_sources=32)
+        assert m.clustering_ratio < 3.0
+        assert average_clustering(ultra_graph) < 0.15

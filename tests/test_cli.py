@@ -1,0 +1,112 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cli_trace(tmp_path_factory):
+    """A tiny simulated trace produced through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "trace.jsonl.gz"
+    rc = main(
+        [
+            "simulate",
+            "--out",
+            str(path),
+            "--days",
+            "0.4",
+            "--base",
+            "120",
+            "--seed",
+            "5",
+            "--no-flash-crowd",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["simulate", "--out", "x.jsonl"],
+            ["analyze", "--trace", "x.jsonl"],
+            ["info", "--trace", "x.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["analyze", "--trace", "t", "--figure", "fig6"])
+        assert args.figure == "fig6"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["analyze", "--trace", "t", "--figure", "fig99"])
+
+    def test_policy_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--out", "t", "--policy", "tree"])
+        assert args.policy == "tree"
+
+
+class TestSimulate:
+    def test_trace_created(self, cli_trace):
+        assert cli_trace.exists()
+        assert cli_trace.stat().st_size > 1000
+
+
+class TestInfo:
+    def test_summary_printed(self, cli_trace, capsys):
+        assert main(["info", "--trace", str(cli_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "reports" in out
+        assert "reporting peers" in out
+
+    def test_missing_trace(self, tmp_path, capsys):
+        rc = main(["info", "--trace", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such trace" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_single_figure(self, cli_trace, capsys):
+        assert main(["analyze", "--trace", str(cli_trace), "--figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "China Telecom" in out
+
+    def test_fig4_too_short_is_skipped_gracefully(self, cli_trace, capsys):
+        # the default Fig. 4 snapshots are beyond a 0.4-day trace
+        assert main(["analyze", "--trace", str(cli_trace), "--figure", "fig4"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_csv_export(self, cli_trace, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        rc = main(
+            [
+                "analyze",
+                "--trace",
+                str(cli_trace),
+                "--figure",
+                "fig1",
+                "--csv-dir",
+                str(csv_dir),
+            ]
+        )
+        assert rc == 0
+        assert (csv_dir / "fig1a.csv").exists()
+        assert (csv_dir / "fig1b.csv").exists()
+        header = (csv_dir / "fig1a.csv").read_text().splitlines()[0]
+        assert header == "t,total,stable"
+
+    def test_missing_trace(self, tmp_path):
+        rc = main(["analyze", "--trace", str(tmp_path / "gone.jsonl")])
+        assert rc == 2
+
+    def test_all_figures_on_short_trace(self, cli_trace, capsys):
+        # every analyzer either renders or reports a graceful skip
+        assert main(["analyze", "--trace", str(cli_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1(A)" in out
+        assert "Fig. 8" in out

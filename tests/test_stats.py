@@ -1,0 +1,92 @@
+"""Unit/property tests for the statistics toolkit (vs scipy)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import bootstrap_mean_ci, ks_two_sample
+
+
+class TestKsTwoSample:
+    def test_identical_samples_not_significant(self):
+        rng = random.Random(0)
+        a = [rng.gauss(0, 1) for _ in range(200)]
+        result = ks_two_sample(a, list(a))
+        assert result.statistic == 0.0
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_shifted_distributions_detected(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(300)]
+        b = [rng.gauss(1.0, 1) for _ in range(300)]
+        result = ks_two_sample(a, b)
+        assert result.significant(0.01)
+        assert result.statistic > 0.3
+
+    def test_same_distribution_usually_accepted(self):
+        rng = random.Random(2)
+        a = [rng.gauss(0, 1) for _ in range(300)]
+        b = [rng.gauss(0, 1) for _ in range(300)]
+        assert not ks_two_sample(a, b).significant(0.001)
+
+    def test_matches_scipy(self):
+        from scipy import stats as sps
+
+        rng = random.Random(3)
+        a = [rng.expovariate(1.0) for _ in range(150)]
+        b = [rng.expovariate(1.4) for _ in range(120)]
+        ours = ks_two_sample(a, b)
+        ref = sps.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        assert ours.p_value == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=5, max_size=60),
+        st.lists(st.integers(0, 30), min_size=5, max_size=60),
+    )
+    @settings(max_examples=50)
+    def test_statistic_bounds_and_symmetry(self, a, b):
+        fwd = ks_two_sample(a, b)
+        rev = ks_two_sample(b, a)
+        assert 0.0 <= fwd.statistic <= 1.0
+        assert fwd.statistic == pytest.approx(rev.statistic)
+        assert fwd.p_value == pytest.approx(rev.p_value)
+
+
+class TestBootstrapCi:
+    def test_interval_contains_true_mean(self):
+        rng = random.Random(4)
+        sample = [rng.gauss(5.0, 2.0) for _ in range(120)]
+        ci = bootstrap_mean_ci(sample, seed=1)
+        assert ci.low < ci.mean < ci.high
+        assert ci.contains(5.0)
+
+    def test_narrower_with_lower_confidence(self):
+        rng = random.Random(5)
+        sample = [rng.random() for _ in range(80)]
+        wide = bootstrap_mean_ci(sample, confidence=0.99, seed=2)
+        narrow = bootstrap_mean_ci(sample, confidence=0.8, seed=2)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean_ci(sample, seed=7)
+        b = bootstrap_mean_ci(sample, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_constant_sample_degenerate_interval(self):
+        ci = bootstrap_mean_ci([3.0] * 50, seed=3)
+        assert ci.low == ci.high == ci.mean == 3.0

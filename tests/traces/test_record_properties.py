@@ -1,0 +1,62 @@
+"""Property-based tests for trace record serialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import PartnerRecord, PeerReport
+
+partner_records = st.builds(
+    PartnerRecord,
+    ip=st.integers(0, 2**32 - 1),
+    port=st.integers(0, 65535),
+    sent_segments=st.integers(0, 10_000),
+    recv_segments=st.integers(0, 10_000),
+)
+
+reports = st.builds(
+    PeerReport,
+    time=st.floats(0, 1e7, allow_nan=False),
+    peer_ip=st.integers(0, 2**32 - 1),
+    channel_id=st.integers(0, 800),
+    buffer_fill=st.floats(0, 1, allow_nan=False),
+    playback_position=st.integers(0, 10**7),
+    download_capacity_kbps=st.floats(0, 1e5, allow_nan=False),
+    upload_capacity_kbps=st.floats(0, 1e5, allow_nan=False),
+    recv_rate_kbps=st.floats(0, 1e5, allow_nan=False),
+    sent_rate_kbps=st.floats(0, 1e5, allow_nan=False),
+    partners=st.lists(partner_records, max_size=20).map(tuple),
+)
+
+
+@given(reports)
+def test_json_roundtrip_preserves_identity_fields(report):
+    clone = PeerReport.from_json(report.to_json())
+    assert clone.time == pytest.approx(report.time)
+    assert clone.peer_ip == report.peer_ip
+    assert clone.channel_id == report.channel_id
+    assert clone.playback_position == report.playback_position
+    assert clone.partners == report.partners
+
+
+@given(reports)
+def test_json_roundtrip_rates_within_rounding(report):
+    clone = PeerReport.from_json(report.to_json())
+    assert clone.recv_rate_kbps == pytest.approx(report.recv_rate_kbps, abs=0.06)
+    assert clone.sent_rate_kbps == pytest.approx(report.sent_rate_kbps, abs=0.06)
+    assert clone.buffer_fill == pytest.approx(report.buffer_fill, abs=1e-4)
+
+
+@given(reports, st.integers(0, 100))
+def test_active_classification_consistent(report, threshold):
+    sups = report.active_suppliers(threshold)
+    recs = report.active_receivers(threshold)
+    assert all(p.recv_segments >= threshold for p in sups)
+    assert all(p.sent_segments >= threshold for p in recs)
+    assert set(sups) <= set(report.partners)
+    assert set(recs) <= set(report.partners)
+
+
+@given(reports)
+def test_json_is_single_line(report):
+    assert "\n" not in report.to_json()

@@ -1,0 +1,120 @@
+"""Unit tests for trace stores, the trace server and windowing."""
+
+import pytest
+
+from repro.traces import (
+    InMemoryTraceStore,
+    JsonlTraceStore,
+    PartnerRecord,
+    PeerReport,
+    TraceReader,
+    TraceServer,
+    iter_windows,
+)
+
+
+def report_at(t, ip=1):
+    return PeerReport(
+        time=t,
+        peer_ip=ip,
+        channel_id=0,
+        buffer_fill=0.5,
+        playback_position=int(t),
+        download_capacity_kbps=2000.0,
+        upload_capacity_kbps=500.0,
+        recv_rate_kbps=400.0,
+        sent_rate_kbps=100.0,
+        partners=(PartnerRecord(ip=9, port=1, sent_segments=11, recv_segments=12),),
+    )
+
+
+class TestInMemoryStore:
+    def test_append_and_iterate(self):
+        store = InMemoryTraceStore()
+        store.append(report_at(1.0))
+        store.append(report_at(2.0))
+        assert len(store) == 2
+        assert [r.time for r in store] == [1.0, 2.0]
+
+
+class TestJsonlStore:
+    def test_roundtrip_plain(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceStore(path) as store:
+            for t in range(5):
+                store.append(report_at(float(t), ip=t))
+            assert len(store) == 5
+        reports = list(TraceReader(path))
+        assert [r.peer_ip for r in reports] == [0, 1, 2, 3, 4]
+        assert reports[0].partners[0].recv_segments == 12
+
+    def test_roundtrip_gzip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with JsonlTraceStore(path) as store:
+            store.append(report_at(7.5))
+        got = list(TraceReader(path))
+        assert len(got) == 1
+        assert got[0].time == 7.5
+
+    def test_compress_inferred_from_suffix(self, tmp_path):
+        assert JsonlTraceStore(tmp_path / "a.jsonl.gz").compress
+        assert not JsonlTraceStore(tmp_path / "a.jsonl").compress
+
+    def test_close_idempotent(self, tmp_path):
+        store = JsonlTraceStore(tmp_path / "t.jsonl")
+        store.close()
+        store.close()
+
+
+class TestTraceServer:
+    def test_no_loss(self):
+        store = InMemoryTraceStore()
+        server = TraceServer(store, loss_rate=0.0)
+        assert server.receive(report_at(1.0))
+        assert server.received == 1
+        assert server.dropped == 0
+
+    def test_udp_loss(self):
+        store = InMemoryTraceStore()
+        server = TraceServer(store, loss_rate=0.5, seed=1)
+        outcomes = [server.receive(report_at(float(i))) for i in range(400)]
+        assert 100 < sum(outcomes) < 300
+        assert server.dropped == 400 - server.received
+        assert len(store) == server.received
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            TraceServer(InMemoryTraceStore(), loss_rate=1.0)
+
+
+class TestIterWindows:
+    def test_basic_grouping(self):
+        reports = [report_at(t) for t in (0, 100, 650, 700, 1300)]
+        windows = list(iter_windows(reports, 600))
+        assert [w for w, _ in windows] == [0.0, 600.0, 1200.0]
+        assert [len(rs) for _, rs in windows] == [2, 2, 1]
+
+    def test_empty_windows_skipped(self):
+        reports = [report_at(t) for t in (0, 5000)]
+        windows = list(iter_windows(reports, 600))
+        assert [w for w, _ in windows] == [0.0, 4800.0]
+
+    def test_start_offset_filters(self):
+        reports = [report_at(t) for t in (0, 700, 1300)]
+        windows = list(iter_windows(reports, 600, start=600))
+        assert [w for w, _ in windows] == [600.0, 1200.0]
+
+    def test_unsorted_across_windows_rejected(self):
+        reports = [report_at(1300.0), report_at(10.0)]
+        with pytest.raises(ValueError):
+            list(iter_windows(reports, 600))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(iter_windows([], 0))
+
+    def test_within_window_disorder_tolerated(self):
+        reports = [report_at(110.0), report_at(90.0)]
+        windows = list(iter_windows(reports, 600))
+        assert len(windows) == 1
+        assert len(windows[0][1]) == 2

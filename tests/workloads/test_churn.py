@@ -1,0 +1,53 @@
+"""Unit tests for the session duration / churn model."""
+
+import random
+
+import pytest
+
+from repro.workloads import SessionDurationModel
+
+
+class TestSessionDurationModel:
+    def test_mean_duration_matches_samples(self):
+        model = SessionDurationModel()
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(60_000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            model.mean_duration(), rel=0.05
+        )
+
+    def test_stable_fraction_near_one_third(self):
+        # Fig. 1(A): stable peers are asymptotically 1/3 of total.
+        model = SessionDurationModel()
+        assert model.stable_concurrent_fraction() == pytest.approx(1 / 3, abs=0.07)
+
+    def test_stable_fraction_monotone_in_threshold(self):
+        model = SessionDurationModel()
+        f10 = model.stable_concurrent_fraction(600)
+        f20 = model.stable_concurrent_fraction(1200)
+        f40 = model.stable_concurrent_fraction(2400)
+        assert f10 > f20 > f40 > 0.0
+
+    def test_transients_dominate_counts(self):
+        model = SessionDurationModel()
+        rng = random.Random(1)
+        short = sum(1 for _ in range(20_000) if model.sample(rng) < 1200)
+        assert short / 20_000 > 0.6
+
+    def test_samples_positive(self):
+        model = SessionDurationModel()
+        rng = random.Random(2)
+        assert all(model.sample(rng) > 0 for _ in range(1000))
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            SessionDurationModel(transient_weight=1.0)
+
+    def test_stable_fraction_tracks_mixture(self):
+        heavy_transient = SessionDurationModel(transient_weight=0.95)
+        heavy_stable = SessionDurationModel(transient_weight=0.30)
+        assert (
+            heavy_transient.stable_concurrent_fraction()
+            < SessionDurationModel().stable_concurrent_fraction()
+            < heavy_stable.stable_concurrent_fraction()
+        )

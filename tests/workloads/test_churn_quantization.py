@@ -1,0 +1,69 @@
+"""Unit tests for survival and round-quantized session durations."""
+
+import random
+
+import pytest
+
+from repro.workloads import SessionDurationModel
+
+
+class TestSurvival:
+    def test_boundaries(self):
+        m = SessionDurationModel()
+        assert m.survival(0.0) == 1.0
+        assert m.survival(-5.0) == 1.0
+        assert m.survival(10_000_000.0) < 1e-6
+
+    def test_monotone_decreasing(self):
+        m = SessionDurationModel()
+        values = [m.survival(t) for t in (0, 60, 300, 900, 3600, 10_000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_empirical(self):
+        m = SessionDurationModel()
+        rng = random.Random(0)
+        samples = [m.sample(rng) for _ in range(40_000)]
+        for t in (300.0, 1200.0, 3600.0):
+            empirical = sum(1 for d in samples if d > t) / len(samples)
+            assert m.survival(t) == pytest.approx(empirical, abs=0.02)
+
+
+class TestQuantizedMean:
+    def test_exceeds_plain_mean(self):
+        m = SessionDurationModel()
+        assert m.mean_quantized_duration(600.0) > m.mean_duration()
+
+    def test_converges_to_mean_for_small_quantum(self):
+        m = SessionDurationModel()
+        fine = m.mean_quantized_duration(1.0)
+        assert fine == pytest.approx(m.mean_duration(), rel=0.02)
+
+    def test_matches_empirical_ceil(self):
+        import math
+
+        m = SessionDurationModel()
+        rng = random.Random(1)
+        q = 600.0
+        samples = [math.ceil(m.sample(rng) / q) * q for _ in range(40_000)]
+        assert m.mean_quantized_duration(q) == pytest.approx(
+            sum(samples) / len(samples), rel=0.03
+        )
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            SessionDurationModel().mean_quantized_duration(0.0)
+
+    def test_quantized_little_law_keeps_stable_fraction(self):
+        """With quantization-corrected rates, the stable fraction stays ~1/3.
+
+        Analytic cross-check of the DESIGN.md calibration argument: the
+        residual-lifetime mass above 20 min over the quantized mean.
+        """
+        m = SessionDurationModel()
+        q = 600.0
+        # residual mass above 1200s under quantized lifetimes:
+        # sum_{k>=2} q * S(k q)  (a peer quantized to k rounds is 'stable'
+        # for the rounds after its age passes 1200 = 2 rounds)
+        residual = sum(q * m.survival(k * q) for k in range(2, 2000))
+        fraction = residual / m.mean_quantized_duration(q)
+        assert fraction == pytest.approx(1 / 3, abs=0.1)

@@ -1,0 +1,62 @@
+"""Unit tests for diurnal and weekly load shapes."""
+
+import pytest
+
+from repro.workloads import DiurnalShape, weekly_multiplier
+from repro.workloads.diurnal import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestDiurnalShape:
+    def test_peak_at_9pm_is_one(self):
+        shape = DiurnalShape()
+        assert shape.multiplier(21 * SECONDS_PER_HOUR) == pytest.approx(1.0)
+
+    def test_double_peak_structure(self):
+        shape = DiurnalShape()
+        noon_peak = shape.multiplier(13 * SECONDS_PER_HOUR)
+        evening_peak = shape.multiplier(21 * SECONDS_PER_HOUR)
+        trough = shape.multiplier(5 * SECONDS_PER_HOUR)
+        late_afternoon = shape.multiplier(17 * SECONDS_PER_HOUR)
+        assert evening_peak > noon_peak > late_afternoon
+        assert trough < 0.75 * noon_peak
+
+    def test_noon_is_local_maximum(self):
+        shape = DiurnalShape()
+        at = lambda h: shape.multiplier(h * SECONDS_PER_HOUR)
+        assert at(13) > at(11)
+        assert at(13) > at(16)
+
+    def test_repeats_daily(self):
+        shape = DiurnalShape()
+        t = 9 * SECONDS_PER_HOUR
+        assert shape.multiplier(t) == pytest.approx(
+            shape.multiplier(t + 3 * SECONDS_PER_DAY)
+        )
+
+    def test_bounded(self):
+        shape = DiurnalShape()
+        values = [shape.multiplier(h * 900) for h in range(96)]
+        assert all(0.0 < v <= 1.0 + 1e-9 for v in values)
+
+    def test_peak_hours_accessor(self):
+        assert DiurnalShape().peak_hours() == (13.0, 21.0)
+
+
+class TestWeeklyMultiplier:
+    def test_epoch_day_is_sunday_boosted(self):
+        assert weekly_multiplier(0.0) > 1.0
+
+    def test_weekdays_flat(self):
+        for day in (1, 2, 3, 4, 5):  # Mon..Fri
+            assert weekly_multiplier(day * SECONDS_PER_DAY + 7200) == 1.0
+
+    def test_saturday_boosted(self):
+        assert weekly_multiplier(6 * SECONDS_PER_DAY) > 1.0
+
+    def test_second_week_same_pattern(self):
+        t = 3 * SECONDS_PER_DAY
+        assert weekly_multiplier(t) == weekly_multiplier(t + 7 * SECONDS_PER_DAY)
+
+    def test_boost_is_slight(self):
+        # the paper: 'only a slight number increase over the weekend'
+        assert weekly_multiplier(0.0) < 1.2

@@ -1,0 +1,46 @@
+"""Unit tests for the flash crowd event."""
+
+import pytest
+
+from repro.workloads import FlashCrowdEvent
+from repro.workloads.flashcrowd import DEFAULT_FLASH_CROWD_START, SECONDS_PER_DAY
+
+
+class TestFlashCrowdEvent:
+    def test_quiet_before_start(self):
+        ev = FlashCrowdEvent()
+        assert ev.multiplier(ev.start - 1) == 1.0
+        assert ev.multiplier(0.0) == 1.0
+
+    def test_ramp_monotone(self):
+        ev = FlashCrowdEvent()
+        quarter = ev.multiplier(ev.start + ev.ramp_seconds * 0.25)
+        half = ev.multiplier(ev.start + ev.ramp_seconds * 0.5)
+        full = ev.multiplier(ev.start + ev.ramp_seconds)
+        assert 1.0 < quarter < half < full
+        assert full == pytest.approx(ev.magnitude)
+
+    def test_hold_at_magnitude(self):
+        ev = FlashCrowdEvent()
+        mid_hold = ev.start + ev.ramp_seconds + ev.hold_seconds / 2
+        assert ev.multiplier(mid_hold) == pytest.approx(ev.magnitude)
+
+    def test_decay_returns_to_one(self):
+        ev = FlashCrowdEvent()
+        end_hold = ev.start + ev.ramp_seconds + ev.hold_seconds
+        after = ev.multiplier(end_hold + 6 * ev.decay_seconds)
+        assert 1.0 < after < 1.01
+        assert ev.multiplier(end_hold + 1) < ev.magnitude
+
+    def test_default_start_is_day5_evening(self):
+        # Day 5 after Sunday Oct 1 is Friday Oct 6; surge peaks near 9 p.m.
+        ev = FlashCrowdEvent()
+        assert DEFAULT_FLASH_CROWD_START // SECONDS_PER_DAY == 5
+        peak_hour = (ev.peak_time % SECONDS_PER_DAY) / 3600
+        assert 20.5 <= peak_hour <= 22.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FlashCrowdEvent(magnitude=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdEvent(ramp_seconds=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the population model and arrival process."""
+
+import pytest
+
+from repro.workloads import (
+    ArrivalProcess,
+    FlashCrowdEvent,
+    PopulationModel,
+    SessionDurationModel,
+)
+from repro.workloads.diurnal import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestPopulationModel:
+    def test_target_peaks_in_evening(self):
+        pop = PopulationModel(base_concurrency=1000, flash_crowd=None)
+        evening = pop.target(2 * SECONDS_PER_DAY + 21 * SECONDS_PER_HOUR)
+        night = pop.target(2 * SECONDS_PER_DAY + 5 * SECONDS_PER_HOUR)
+        assert evening > 1.3 * night
+
+    def test_flash_crowd_applied(self):
+        ev = FlashCrowdEvent(magnitude=2.0)
+        with_fc = PopulationModel(base_concurrency=1000, flash_crowd=ev)
+        without = PopulationModel(base_concurrency=1000, flash_crowd=None)
+        t = ev.peak_time
+        assert with_fc.target(t) == pytest.approx(2.0 * without.target(t))
+
+    def test_weekend_boost(self):
+        pop = PopulationModel(base_concurrency=1000, flash_crowd=None)
+        sunday_noon = 13 * SECONDS_PER_HOUR
+        monday_noon = SECONDS_PER_DAY + 13 * SECONDS_PER_HOUR
+        assert pop.target(sunday_noon) > pop.target(monday_noon)
+
+
+class TestArrivalProcess:
+    def test_rate_is_littles_law(self):
+        pop = PopulationModel(base_concurrency=1200, flash_crowd=None)
+        sessions = SessionDurationModel()
+        proc = ArrivalProcess(pop, sessions, seed=0)
+        t = 21 * SECONDS_PER_HOUR
+        assert proc.rate(t) == pytest.approx(
+            pop.target(t) / sessions.mean_duration()
+        )
+
+    def test_arrival_counts_track_rate(self):
+        pop = PopulationModel(base_concurrency=2000, flash_crowd=None)
+        proc = ArrivalProcess(pop, SessionDurationModel(), seed=1)
+        t = 21 * SECONDS_PER_HOUR
+        dt = 600.0
+        expected = proc.rate(t + dt / 2) * dt
+        counts = [proc.arrivals_in(t, dt) for _ in range(200)]
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(expected, rel=0.05)
+
+    def test_arrival_times_sorted_within_window(self):
+        pop = PopulationModel(base_concurrency=500, flash_crowd=None)
+        proc = ArrivalProcess(pop, SessionDurationModel(), seed=2)
+        times = proc.arrival_times_in(1000.0, 600.0)
+        assert times == sorted(times)
+        assert all(1000.0 <= x < 1600.0 for x in times)
+
+    def test_zero_rate_zero_arrivals(self):
+        pop = PopulationModel(base_concurrency=0, flash_crowd=None)
+        proc = ArrivalProcess(pop, SessionDurationModel(), seed=3)
+        assert proc.arrivals_in(0.0, 600.0) == 0
+
+    def test_deterministic_with_seed(self):
+        pop = PopulationModel(base_concurrency=800, flash_crowd=None)
+        a = ArrivalProcess(pop, SessionDurationModel(), seed=4)
+        b = ArrivalProcess(pop, SessionDurationModel(), seed=4)
+        assert [a.arrivals_in(0, 600) for _ in range(20)] == [
+            b.arrivals_in(0, 600) for _ in range(20)
+        ]
+
+    def test_small_lambda_poisson_branch(self):
+        pop = PopulationModel(base_concurrency=5, flash_crowd=None)
+        proc = ArrivalProcess(pop, SessionDurationModel(), seed=5)
+        counts = [proc.arrivals_in(0, 60) for _ in range(500)]
+        assert min(counts) >= 0
+        assert 0 < sum(counts) < 1000
+
+    def test_steady_state_concurrency_tracks_target(self):
+        """End-to-end M/G/inf check: realised concurrency ~ target."""
+        import heapq
+
+        pop = PopulationModel(base_concurrency=600, flash_crowd=None)
+        proc = ArrivalProcess(pop, SessionDurationModel(), seed=6)
+        departures: list[float] = []
+        online = 0
+        t = 0.0
+        dt = 300.0
+        history = []
+        while t < 1.5 * SECONDS_PER_DAY:
+            for at in proc.arrival_times_in(t, dt):
+                heapq.heappush(departures, at + proc.sample_session())
+            t += dt
+            while departures and departures[0] <= t:
+                heapq.heappop(departures)
+            online = len(departures)
+            if t > SECONDS_PER_DAY:  # warmed up
+                history.append((t, online))
+        for when, realised in history[:: len(history) // 10 or 1]:
+            assert realised == pytest.approx(pop.target(when), rel=0.25)
