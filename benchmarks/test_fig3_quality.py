@@ -6,7 +6,7 @@ with a sharp increase for CCTV4 during the flash crowd — the paper's
 scalability headline.
 """
 
-from benchmarks.conftest import DAY, FLASH_PEAK, HOUR, show
+from benchmarks.conftest import DAY, FLASH_PEAK, show
 from repro.core.experiments import fig3_streaming_quality
 
 

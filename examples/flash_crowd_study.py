@@ -17,7 +17,6 @@ from repro.core.experiments import (
     fig1_scale,
     fig3_streaming_quality,
     fig4_degree_distributions,
-    run_simulation_to_trace,
 )
 from repro.core.report import format_table
 from repro.simulator.protocol import ProtocolConfig

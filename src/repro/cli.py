@@ -20,10 +20,14 @@ from repro.core.dynamics import (
     population_turnover,
     session_statistics,
 )
-from repro.core.report import format_series, format_table, write_csv
-from repro.network.isp import build_default_database
+from repro.core.report import (
+    format_series,
+    format_table,
+    format_trace_health,
+    write_csv,
+)
 from repro.simulator.protocol import SelectionPolicy
-from repro.traces.store import TraceReader
+from repro.traces.store import TolerantTraceReader, TraceReader
 
 FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
 
@@ -60,9 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figure to regenerate",
     )
     ana.add_argument("--csv-dir", type=Path, help="also export series as CSV")
+    ana.add_argument(
+        "--tolerant",
+        action="store_true",
+        help="read a dirty trace (skip/dedup/re-sort bad records) and "
+        "print a trace-health summary",
+    )
 
     info = sub.add_parser("info", help="summarise a trace file")
     info.add_argument("--trace", type=Path, required=True)
+    info.add_argument(
+        "--tolerant",
+        action="store_true",
+        help="read a dirty trace and print a trace-health summary",
+    )
     return parser
 
 
@@ -208,7 +223,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     if args.csv_dir:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
-    trace = TraceReader(args.trace)
+    trace = TolerantTraceReader(args.trace) if args.tolerant else TraceReader(args.trace)
     figures = FIGURES if args.figure == "all" else (args.figure,)
     for fig in figures:
         try:
@@ -216,6 +231,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"{fig}: skipped ({exc})")
         print()
+    if args.tolerant:
+        print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
     return 0
 
 
@@ -223,7 +240,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     if not args.trace.exists():
         print(f"error: no such trace: {args.trace}", file=sys.stderr)
         return 2
-    trace = TraceReader(args.trace)
+    trace = TolerantTraceReader(args.trace) if args.tolerant else TraceReader(args.trace)
     count = 0
     first = last = None
     ips = set()
@@ -255,6 +272,9 @@ def cmd_info(args: argparse.Namespace) -> int:
         ["mean partner-list jaccard", round(stability.mean_jaccard, 3)],
     ]
     print(format_table(["property", "value"], rows, title=f"trace {args.trace}"))
+    if args.tolerant:
+        print()
+        print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
     return 0
 
 

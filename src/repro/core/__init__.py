@@ -50,7 +50,13 @@ from repro.core.dynamics import (
 )
 from repro.core.locality import TrafficMatrix, isp_traffic_matrix
 from repro.core.structure import MeshStructure, mesh_structure
-from repro.core.report import format_series, format_table, write_csv
+from repro.core.resilience import ResilienceStats, quality_dip, satisfied_series
+from repro.core.report import (
+    format_series,
+    format_table,
+    format_trace_health,
+    write_csv,
+)
 
 __all__ = [
     "TopologySnapshot",
@@ -77,8 +83,12 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "run_simulation_to_trace",
+    "ResilienceStats",
+    "quality_dip",
+    "satisfied_series",
     "format_series",
     "format_table",
+    "format_trace_health",
     "write_csv",
     "PartnerStability",
     "SessionStatistics",

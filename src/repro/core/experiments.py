@@ -33,10 +33,12 @@ from repro.graph.degree import DegreeDistribution
 from repro.graph.smallworld import SmallWorldMetrics
 from repro.network.isp import IspDatabase, build_default_database
 from repro.simulator.channel import ChannelCatalogue
+from repro.simulator.failures import FaultPlan
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.system import SystemConfig, UUSeeSystem
+from repro.traces.faults import ChannelFaults, FaultyChannel
 from repro.traces.records import PeerReport
-from repro.traces.store import JsonlTraceStore, TraceReader, iter_windows
+from repro.traces.store import JsonlTraceStore, iter_windows
 from repro.workloads.flashcrowd import FlashCrowdEvent
 
 SECONDS_PER_HOUR = 3_600.0
@@ -66,11 +68,17 @@ def run_simulation_to_trace(
     policy: SelectionPolicy = SelectionPolicy.UUSEE,
     protocol: ProtocolConfig | None = None,
     catalogue: ChannelCatalogue | None = None,
+    faults: FaultPlan | None = None,
+    channel_faults: ChannelFaults | None = None,
+    trace_mode: str = "overwrite",
 ) -> Path:
     """Simulate a UUSee deployment and write its trace to ``path``.
 
     Returns the path.  The defaults reproduce the paper's two selected
-    weeks at ~1/100 scale, including the day-5 flash crowd.
+    weeks at ~1/100 scale, including the day-5 flash crowd.  ``faults``
+    injects infrastructure faults into the simulated system;
+    ``channel_faults`` damages the report stream on its way to disk
+    (producing a dirty trace that needs the tolerant readers).
     """
     path = Path(path)
     config = SystemConfig(
@@ -79,10 +87,18 @@ def run_simulation_to_trace(
         flash_crowd=FlashCrowdEvent() if with_flash_crowd else None,
         policy=policy,
         protocol=protocol or ProtocolConfig(),
+        faults=faults,
     )
-    with JsonlTraceStore(path) as store:
-        system = UUSeeSystem(config, store, catalogue=catalogue)
+    with JsonlTraceStore(path, mode=trace_mode) as store:
+        sink = (
+            FaultyChannel(store, channel_faults, seed=seed)
+            if channel_faults is not None
+            else store
+        )
+        system = UUSeeSystem(config, sink, catalogue=catalogue)
         system.run(days=days)
+        if sink is not store:
+            sink.flush()
     return path
 
 

@@ -11,6 +11,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.timeseries import SnapshotSeries
+from repro.traces.health import TraceHealth
 
 
 def _fmt(value: object, precision: int) -> str:
@@ -59,6 +60,16 @@ def format_series(
         rows.append([t / divisor] + [row.get(c) for c in columns])
     return format_table(
         [f"t_{time_unit}"] + list(columns), rows, precision=precision, title=title
+    )
+
+
+def format_trace_health(
+    health: TraceHealth, *, title: str = "Trace health"
+) -> str:
+    """Render a tolerant pass's TraceHealth counters as a table."""
+    suffix = "" if health.dirty else " (clean)"
+    return format_table(
+        ["counter", "value"], health.rows(), title=title + suffix
     )
 
 

@@ -1,0 +1,105 @@
+"""Resilience metrics: how deep a quality dip is and how fast it heals.
+
+The paper observes UUSee absorbing a flash crowd with *improving*
+quality; the fault-injection experiments here ask the complementary
+question — when infrastructure degrades (tracker brownout, ISP
+partition, crash waves), how far does streaming quality fall, and how
+long after the fault window does it take to climb back to its
+pre-fault level?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Quality dip-and-recovery summary around one fault window."""
+
+    baseline: float  # mean quality over the pre-fault span
+    min_during: float  # worst quality inside the fault window
+    dip_depth: float  # baseline - min_during (>= 0 when quality fell)
+    recovery_time_s: float  # time after fault end to reach the recovery
+    #   threshold; inf if it never does within the series
+    recovered_value: float  # quality at the recovery instant (or the
+    #   last post-fault sample if recovery never happened)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether quality climbed back above the recovery threshold."""
+        return math.isfinite(self.recovery_time_s)
+
+
+def quality_dip(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    fault_start: float,
+    fault_end: float,
+    baseline_span_s: float = 7_200.0,
+    recovery_fraction: float = 0.95,
+) -> ResilienceStats:
+    """Measure the dip a fault window carved into a quality series.
+
+    ``baseline`` is the mean of samples in the ``baseline_span_s``
+    before ``fault_start``; recovery is the first post-``fault_end``
+    sample reaching ``recovery_fraction * baseline``.  Raises
+    ``ValueError`` when the series has no pre-fault samples to build a
+    baseline from.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    if fault_end <= fault_start:
+        raise ValueError("fault window must have positive length")
+    pre = [
+        v
+        for t, v in zip(times, values)
+        if fault_start - baseline_span_s <= t < fault_start and v is not None
+    ]
+    if not pre:
+        raise ValueError(
+            f"no samples in the {baseline_span_s:.0f}s before the fault "
+            "window; extend the series or shrink baseline_span_s"
+        )
+    baseline = sum(pre) / len(pre)
+    during = [
+        v
+        for t, v in zip(times, values)
+        if fault_start <= t <= fault_end and v is not None
+    ]
+    min_during = min(during) if during else baseline
+    threshold = recovery_fraction * baseline
+    recovery_time = math.inf
+    recovered_value = min_during
+    for t, v in zip(times, values):
+        if t <= fault_end or v is None:
+            continue
+        recovered_value = v
+        if v >= threshold:
+            recovery_time = t - fault_end
+            break
+    return ResilienceStats(
+        baseline=baseline,
+        min_during=min_during,
+        dip_depth=max(0.0, baseline - min_during),
+        recovery_time_s=recovery_time,
+        recovered_value=recovered_value,
+    )
+
+
+def satisfied_series(round_stats: Iterable) -> tuple[list[float], list[float]]:
+    """(times, satisfied fractions) from the simulator's round stats.
+
+    Accepts ``UUSeeSystem.round_stats`` directly; pairs with
+    :func:`quality_dip` for in-simulator resilience measurements that
+    do not need a written trace.
+    """
+    times: list[float] = []
+    values: list[float] = []
+    for stats in round_stats:
+        times.append(stats.time)
+        values.append(stats.satisfied_fraction())
+    return times, values

@@ -24,7 +24,15 @@ from repro.simulator.buffer import BufferMap
 from repro.simulator.channel import Channel, ChannelCatalogue, default_catalogue
 from repro.simulator.tracker import Tracker, TrackerPool
 from repro.simulator.peer import Link, Peer
-from repro.simulator.failures import Outage, OutageSchedule
+from repro.simulator.failures import (
+    Brownout,
+    CrashWindow,
+    FaultPlan,
+    IspPartition,
+    LinkDegradation,
+    Outage,
+    OutageSchedule,
+)
 from repro.simulator.blocks import BlockSwarm, SwarmConfig
 from repro.simulator.system import SystemConfig, UUSeeSystem
 
@@ -39,6 +47,11 @@ __all__ = [
     "default_catalogue",
     "Tracker",
     "TrackerPool",
+    "Brownout",
+    "CrashWindow",
+    "FaultPlan",
+    "IspPartition",
+    "LinkDegradation",
     "Outage",
     "OutageSchedule",
     "BlockSwarm",

@@ -24,12 +24,13 @@ Everything the paper measures emerges here:
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 
 from repro.network.latency import LatencyModel
 from repro.simulator.channel import ChannelCatalogue
-from repro.simulator.failures import OutageSchedule
+from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Link, Peer
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.tracker import Tracker
@@ -69,6 +70,7 @@ class ExchangeEngine:
         policy: SelectionPolicy = SelectionPolicy.UUSEE,
         seed: int = 0,
         outages: OutageSchedule | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.peers = peers
         self.catalogue = catalogue
@@ -76,7 +78,12 @@ class ExchangeEngine:
         self.latency = latency
         self.config = config
         self.policy = policy
-        self.outages = outages or OutageSchedule()
+        if faults is None:
+            faults = FaultPlan(outages=outages or OutageSchedule())
+        elif outages is not None:
+            faults = faults.merged_with_outages(outages)
+        self.faults = faults
+        self.outages = self.faults.outages
         self.rng = random.Random(seed)
         # links are mutual; last_active is tracked via Link.established_at
         # updates inside _record_transfer.
@@ -93,6 +100,10 @@ class ExchangeEngine:
             return False
         if b.peer_id in a.partners:
             return False
+        if self.faults.has_link_faults and self.faults.link_blocked(
+            a.isp, b.isp, now
+        ):
+            return False  # TCP handshake cannot cross the partition
         limit_b = self.config.max_partners * (4 if b.is_server else 1)
         if len(b.partners) >= limit_b:
             return False
@@ -150,10 +161,70 @@ class ExchangeEngine:
         connected = 0
         for pid in candidate_ids:
             other = self.peers.get(pid)
-            if other is not None and self.connect(peer, other, now):
+            if other is None:
+                # Stale entry: the peer crashed without a goodbye.  The
+                # failed connection attempt is how the tracker learns.
+                self.tracker.unregister(peer.channel_id, pid)
+                continue
+            if self.connect(peer, other, now):
                 connected += 1
         self.select_suppliers(peer)
         return connected
+
+    # -- tracker contact with bounded exponential backoff ---------------------
+
+    def _tracker_reachable(self, now: float) -> bool:
+        """Whether one tracker request gets through right now.
+
+        Full capacity and full outage short-circuit without consuming
+        randomness, so fault-free runs keep their exact random streams.
+        """
+        capacity = self.faults.tracker_capacity(now)
+        if capacity >= 1.0:
+            return True
+        if capacity <= 0.0:
+            return False
+        return self.rng.random() < capacity
+
+    def _schedule_tracker_retry(self, peer: Peer, now: float) -> None:
+        """Back off exponentially (bounded) before the next tracker try."""
+        cfg = self.config
+        delay = min(
+            cfg.tracker_retry_base_s * (2.0 ** peer.tracker_failures),
+            cfg.tracker_retry_cap_s,
+        )
+        if cfg.tracker_retry_jitter > 0.0:
+            delay *= 1.0 + cfg.tracker_retry_jitter * self.rng.random()
+        peer.tracker_failures += 1
+        peer.next_tracker_retry = now + delay
+
+    def tracker_contact(self, peer: Peer, now: float) -> bool:
+        """One tracker request: register+bootstrap, or refresh partners.
+
+        On failure (outage or brownout drop) the peer schedules a
+        bounded-exponential-backoff retry instead of starving silently;
+        ``maintenance_tick`` fires the retry when it comes due.
+        """
+        if not self._tracker_reachable(now):
+            self._schedule_tracker_retry(peer, now)
+            return False
+        peer.tracker_failures = 0
+        peer.next_tracker_retry = math.inf
+        if not peer.registered:
+            peer.registered = True
+            self.tracker.register(peer.channel_id, peer.peer_id)
+            self.bootstrap_peer(peer, now)
+            return True
+        want = self.config.bootstrap_partners - len(peer.partners)
+        if want > 0:
+            for pid in self.tracker.refresh(peer.channel_id, peer.peer_id, want):
+                other = self.peers.get(pid)
+                if other is None:
+                    self.tracker.unregister(peer.channel_id, pid)
+                else:
+                    self.connect(peer, other, now)
+            self.select_suppliers(peer)
+        return True
 
     # -- supplier selection ---------------------------------------------------
 
@@ -282,6 +353,8 @@ class ExchangeEngine:
     def maintenance_tick(self, peer: Peer, now: float) -> None:
         """Control-plane work a client does every few minutes."""
         cfg = self.config
+        if peer.next_tracker_retry <= now:
+            self.tracker_contact(peer, now)
         self._clean_dead_partners(peer)
         self._recover_estimates(peer)
         self._prune_idle_partners(peer, now)
@@ -372,8 +445,8 @@ class ExchangeEngine:
         low-buffer peer can actually serve is limited separately by its
         content availability (see ``_content_factor``).
         """
-        if self.outages.tracker_down(now):
-            return  # the tracker is unreachable; try again next tick
+        if not self._tracker_reachable(now):
+            return  # request lost (outage or brownout); try next tick
         spare = peer.spare_upload_kbps()
         threshold = self.config.volunteer_spare_fraction * peer.upload_kbps
         should = spare >= threshold
@@ -396,17 +469,10 @@ class ExchangeEngine:
             peer.starving_ticks = 0
             return
         if peer.starving_ticks >= self.config.starvation_ticks:
-            if self.outages.tracker_down(now):
-                return  # keep starving; retry once the tracker is back
-            peer.starving_ticks = 0
-            want = self.config.bootstrap_partners - len(peer.partners)
-            if want <= 0:
-                return
-            for pid in self.tracker.refresh(peer.channel_id, peer.peer_id, want):
-                other = self.peers.get(pid)
-                if other is not None:
-                    self.connect(peer, other, peer.last_tick)
-            self.select_suppliers(peer)
+            if peer.next_tracker_retry < math.inf:
+                return  # a backoff retry is already scheduled
+            if self.tracker_contact(peer, now):
+                peer.starving_ticks = 0
 
     # -- exchange round -------------------------------------------------------
 
@@ -431,12 +497,17 @@ class ExchangeEngine:
             # ISP clustering (Sec. 4.2.3).  The RANDOM ablation removes
             # the bias here too (stable pseudo-random order per link).
             blind = self.policy is SelectionPolicy.RANDOM
+            link_faults = self.faults.has_link_faults
             supplier_links: list[tuple[float, int, Link]] = []
             for pid in peer.suppliers:
                 link = peer.partners.get(pid)
                 if link is None or pid not in self.peers:
                     dead.append(pid)
                     continue
+                if link_faults and self.faults.link_blocked(
+                    peer.isp, self.peers[pid].isp, now
+                ):
+                    continue  # partitioned away this round; keep the link
                 if blind:
                     priority = float(hash((peer.peer_id, pid)) % 1_000_003)
                 else:
@@ -473,8 +544,14 @@ class ExchangeEngine:
                 )
             total_weighted = sum(weights)
             total_requested = sum(req for _, _, req in reqs)
-            if supplier.is_server and self.outages.servers_down(now):
-                capacity = 0.0  # origin offline: nothing to serve
+            if supplier.is_server:
+                # Origin capacity scales with outages/brownouts: 0 while
+                # offline, fractional while degraded, full otherwise.
+                capacity = (
+                    supplier.upload_kbps
+                    * self._content_factor(supplier)
+                    * self.faults.server_capacity(now)
+                )
             else:
                 capacity = supplier.upload_kbps * self._content_factor(supplier)
             sent_total = 0.0
@@ -482,10 +559,15 @@ class ExchangeEngine:
                 scale = 1.0
             else:
                 scale = capacity / total_weighted if total_weighted else 0.0
+            degraded = self.faults.has_link_faults and bool(self.faults.degradations)
             for (requester, link, req), weight in zip(reqs, weights):
                 achieved = req if total_requested <= capacity else min(
                     req, weight * scale
                 )
+                if degraded:
+                    achieved *= self.faults.link_factor(
+                        supplier.isp, requester.isp, now
+                    )
                 if achieved <= 0.0:
                     continue
                 self._record_transfer(

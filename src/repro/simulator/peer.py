@@ -92,6 +92,9 @@ class Peer:
         "starving_ticks",
         "depth",
         "playback_position",
+        "registered",
+        "tracker_failures",
+        "next_tracker_retry",
     )
 
     def __init__(
@@ -134,6 +137,12 @@ class Peer:
         # the TREE ablation policy and interesting in its own right.
         self.depth = 0 if is_server else 64
         self.playback_position = 0
+        # Tracker-contact state: whether the tracker has accepted this
+        # peer's registration, and the bounded-exponential-backoff retry
+        # schedule used while the tracker is down or browned out.
+        self.registered = False
+        self.tracker_failures = 0
+        self.next_tracker_retry = float("inf")
 
     @property
     def partner_count(self) -> int:

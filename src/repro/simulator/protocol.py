@@ -60,6 +60,14 @@ class ProtocolConfig:
     starvation_health: float = 0.85  # health below this is 'starving'
     starvation_ticks: int = 2  # sustained ticks before tracker re-contact
 
+    # -- tracker-contact retry (fault tolerance) ----------------------------
+    #: When a tracker request fails (outage or brownout), the client
+    #: retries with exponential backoff: base * 2^failures seconds, capped,
+    #: plus uniform jitter to de-synchronise the retry herd.
+    tracker_retry_base_s: float = 300.0
+    tracker_retry_cap_s: float = 3_600.0
+    tracker_retry_jitter: float = 0.1  # extra delay: U(0, jitter) fraction
+
     # -- media / rounds -----------------------------------------------------
     segment_seconds: float = 1.0  # one media segment = 1 s of stream
     round_seconds: float = 600.0  # exchange-round aggregation step

@@ -19,6 +19,7 @@ after which ``store`` holds a Magellan-style trace ready for
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from dataclasses import dataclass, field
 
@@ -29,7 +30,7 @@ from repro.network.latency import LatencyModel
 from repro.simulator.channel import ChannelCatalogue, default_catalogue
 from repro.simulator.engine import EventEngine
 from repro.simulator.exchange import ExchangeEngine, RoundStats
-from repro.simulator.failures import OutageSchedule
+from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Peer
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.tracker import Tracker, TrackerPool
@@ -61,6 +62,10 @@ class SystemConfig:
     num_trackers: int = 1  # UUSee runs a tracker farm; 1 is equivalent
     #   for the topology metrics, >1 partitions the volunteer view
     outages: OutageSchedule = field(default_factory=OutageSchedule)
+    #   ``outages`` is the binary-failure back-compat surface; ``faults``
+    #   carries the full fault plan (brownouts, partitions, degradations,
+    #   crashes).  Both may be given; the outages are folded in.
+    faults: FaultPlan | None = None
     servers_per_channel: int = 1
     server_upload_kbps: float = 24_000.0
     trace_loss_rate: float = 0.01
@@ -110,6 +115,9 @@ class UUSeeSystem:
             seed=seed_for(),
             lifetime_quantum_s=config.protocol.round_seconds,
         )
+        self.faults = (config.faults or FaultPlan()).merged_with_outages(
+            config.outages
+        )
         self.peers: dict[int, Peer] = {}
         self.exchange = ExchangeEngine(
             peers=self.peers,
@@ -119,7 +127,7 @@ class UUSeeSystem:
             config=config.protocol,
             policy=config.policy,
             seed=seed_for(),
-            outages=config.outages,
+            faults=self.faults,
         )
         self._rng = random.Random(seed_for())
         self._allocators: dict[str, IpAllocator] = {
@@ -136,7 +144,11 @@ class UUSeeSystem:
         self.round_stats: list[RoundStats] = []
         self.total_arrivals = 0
         self.total_departures = 0
+        self.total_crashes = 0
         self._create_servers()
+        # Drawn last so fault-free runs keep the exact random streams of
+        # builds that predate fault injection.
+        self._fault_rng = random.Random(seed_for())
 
     # -- construction ------------------------------------------------------
 
@@ -165,6 +177,7 @@ class UUSeeSystem:
                 self.tracker.register(channel.channel_id, peer_id)
                 self.tracker.volunteer(channel.channel_id, peer_id)
                 server.volunteered = True
+                server.registered = True
 
     # -- run loop ----------------------------------------------------------
 
@@ -182,6 +195,7 @@ class UUSeeSystem:
     def _round(self, dt: float) -> None:
         now = self.engine.now
         self._process_departures(now)
+        self._process_crashes(now, dt)
         self._process_arrivals(now, dt)
         self._run_ticks(now)
         stats = self.exchange.run_round(now, dt)
@@ -226,14 +240,11 @@ class UUSeeSystem:
             0.0, self.config.protocol.gossip_interval_s
         )
         self.peers[peer_id] = peer
-        if self.config.outages.tracker_down(now):
-            # tracking servers unreachable: the client joins with an empty
-            # partner list and can only discover the mesh through gossip
-            # (once someone connects to it) or by retrying the tracker.
-            peer.starving_ticks = self.config.protocol.starvation_ticks
-        else:
-            self.tracker.register(channel.channel_id, peer_id)
-            self.exchange.bootstrap_peer(peer, now)
+        # When the tracker is down or browned out the request fails and
+        # the client joins with an empty partner list; it then retries
+        # with bounded exponential backoff (and may meanwhile discover
+        # the mesh through gossip, once someone connects to it).
+        self.exchange.tracker_contact(peer, now)
         heapq.heappush(self._departures, (peer.depart_time, peer_id))
         self.total_arrivals += 1
         return peer
@@ -249,6 +260,28 @@ class UUSeeSystem:
             # Partners discover the departure lazily at their next tick;
             # the trace keeps the stale entries, exactly as real partner
             # lists keep recently-departed transients.
+
+    def _process_crashes(self, now: float, dt: float) -> None:
+        """Abrupt departures: no goodbye to partners *or* the tracker.
+
+        Unlike a graceful leave, the tracker keeps the stale
+        registration (and possibly volunteer listing) until it hands the
+        dead peer out and the connection attempt fails; partners notice
+        only through the idle timeout.  This is the crash/leave
+        distinction the fault model tests rely on.
+        """
+        hazard = self.faults.crash_hazard(now)
+        if hazard <= 0.0:
+            return
+        p_crash = 1.0 - math.exp(-hazard * dt)
+        victims = [
+            peer_id
+            for peer_id, peer in self.peers.items()
+            if not peer.is_server and self._fault_rng.random() < p_crash
+        ]
+        for peer_id in victims:
+            del self.peers[peer_id]
+            self.total_crashes += 1
 
     # -- control plane ----------------------------------------------------------
 

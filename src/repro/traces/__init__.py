@@ -7,28 +7,48 @@ download/upload capacities, instantaneous aggregate receiving/sending
 throughput, and a list of all partners with per-partner sent/received
 segment counts.  Reports travel over UDP (lossy) to a standalone trace
 server, which appends them to a trace store.
+
+Because the real collection path was a lossy Internet UDP path, this
+package also carries a fault-injection layer (``FaultyChannel``) and a
+dirty-trace-tolerant read path (``TraceReader(tolerant=True)``,
+``TolerantTraceReader``, ``iter_windows(tolerant=True)``) whose
+accounting lands in a ``TraceHealth``.
 """
 
 from repro.traces.records import PartnerRecord, PeerReport
 from repro.traces.anonymize import IspPreservingAnonymizer
+from repro.traces.health import TraceHealth
 from repro.traces.reporter import build_report, port_for_peer
 from repro.traces.server import TraceServer
+from repro.traces.faults import ChannelCounters, ChannelFaults, FaultyChannel
 from repro.traces.store import (
     InMemoryTraceStore,
     JsonlTraceStore,
+    TolerantTraceReader,
+    TraceFormatError,
     TraceReader,
+    TraceTruncatedError,
     iter_windows,
+    sanitize,
 )
 
 __all__ = [
     "PartnerRecord",
     "PeerReport",
     "IspPreservingAnonymizer",
+    "TraceHealth",
     "build_report",
     "port_for_peer",
     "TraceServer",
+    "ChannelCounters",
+    "ChannelFaults",
+    "FaultyChannel",
     "InMemoryTraceStore",
     "JsonlTraceStore",
+    "TolerantTraceReader",
+    "TraceFormatError",
     "TraceReader",
+    "TraceTruncatedError",
     "iter_windows",
+    "sanitize",
 ]

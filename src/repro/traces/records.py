@@ -9,6 +9,7 @@ compactness matters.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 
 
@@ -79,6 +80,31 @@ class PeerReport:
             recv_rate_kbps=float(obj["rr"]),
             sent_rate_kbps=float(obj["sr"]),
             partners=tuple(PartnerRecord.from_array(a) for a in obj["p"]),
+        )
+
+    def is_wellformed(self) -> bool:
+        """Field-level sanity: finite, non-negative, in-range values.
+
+        A syntactically valid JSON line can still carry garbage (bit
+        flips on the UDP path, a half-written float); tolerant readers
+        quarantine such records instead of feeding them to analytics.
+        """
+        numbers = (
+            self.time,
+            self.download_capacity_kbps,
+            self.upload_capacity_kbps,
+            self.recv_rate_kbps,
+            self.sent_rate_kbps,
+        )
+        if any(not math.isfinite(v) or v < 0.0 for v in numbers):
+            return False
+        if not math.isfinite(self.buffer_fill) or not -0.01 <= self.buffer_fill <= 1.01:
+            return False
+        if self.playback_position < 0 or self.peer_ip < 0:
+            return False
+        return all(
+            p.sent_segments >= 0 and p.recv_segments >= 0 and p.ip >= 0
+            for p in self.partners
         )
 
     def active_suppliers(self, threshold: int = 10) -> list[PartnerRecord]:

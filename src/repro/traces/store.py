@@ -4,15 +4,27 @@ Reports are appended in non-decreasing time order (the simulator emits
 them chronologically), which lets analysis stream a multi-hundred-MB
 trace window by window without loading it whole — the same discipline
 a real 120 GB trace demands.
+
+Reading back comes in two flavours.  **Strict** (the default) raises
+:class:`TraceFormatError` on the first malformed line — right for
+traces this codebase wrote itself, where corruption means a bug.
+**Tolerant** mode models the paper's reality (a UDP collection path and
+a collector that can die mid-write): it skips and counts bad lines,
+deduplicates re-deliveries, quarantines garbage records and locally
+re-sorts bounded reordering, accumulating everything it did into a
+:class:`~repro.traces.health.TraceHealth`.
 """
 
 from __future__ import annotations
 
 import gzip
+import heapq
 import io
+from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol
 
+from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
 
 
@@ -20,6 +32,14 @@ class TraceStore(Protocol):
     """Anything that can accept appended reports."""
 
     def append(self, report: PeerReport) -> None: ...
+
+
+class TraceFormatError(ValueError):
+    """A trace line could not be parsed in strict mode."""
+
+
+class TraceTruncatedError(TraceFormatError):
+    """The final trace line is an incomplete write (killed collector)."""
 
 
 class InMemoryTraceStore:
@@ -39,29 +59,63 @@ class InMemoryTraceStore:
         return iter(self.reports)
 
 
+#: open() mode letter per store mode; "create" refuses to clobber an
+#: existing trace, which has destroyed more than one real dataset.
+_STORE_MODES = {"create": "x", "overwrite": "w", "append": "a"}
+
+
 class JsonlTraceStore:
     """Appends reports as JSON lines, optionally gzip-compressed.
 
-    Use as a context manager, or call :meth:`close` explicitly before
-    reading the file back.
+    ``mode`` is ``"create"`` (exclusive — raises ``FileExistsError`` on
+    an existing path), ``"overwrite"`` or ``"append"``.  The stream is
+    flushed every ``flush_every`` records so a crashed run leaves a
+    readable prefix (plus at most one truncated line, which tolerant
+    readers skip).  Use as a context manager, or call :meth:`close`
+    explicitly before reading the file back.
     """
 
-    def __init__(self, path: str | Path, *, compress: bool | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        compress: bool | None = None,
+        mode: str = "create",
+        flush_every: int = 256,
+    ) -> None:
+        if mode not in _STORE_MODES:
+            raise ValueError(
+                f"mode must be one of {sorted(_STORE_MODES)}, got {mode!r}"
+            )
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
         if compress is None:
             compress = self.path.suffix == ".gz"
         self.compress = compress
+        self.mode = mode
+        self.flush_every = flush_every
         self._count = 0
+        open_mode = _STORE_MODES[mode] + "t"
         if compress:
-            self._fh: io.TextIOBase = gzip.open(self.path, "wt", compresslevel=4)
+            self._fh: io.TextIOBase = gzip.open(
+                self.path, open_mode, compresslevel=4
+            )
         else:
-            self._fh = open(self.path, "w")
+            self._fh = open(self.path, open_mode)
 
     def append(self, report: PeerReport) -> None:
         """Write one report as a JSON line."""
-        self._fh.write(report.to_json())
-        self._fh.write("\n")
+        self.append_line(report.to_json())
+
+    def append_line(self, line: str) -> None:
+        """Write one raw line (fault injection writes damaged lines here)."""
+        self._fh.write(line)
+        if not line.endswith("\n"):
+            self._fh.write("\n")
         self._count += 1
+        if self._count % self.flush_every == 0:
+            self._fh.flush()
 
     def __len__(self) -> int:
         return self._count
@@ -78,35 +132,167 @@ class JsonlTraceStore:
         self.close()
 
 
-class TraceReader:
-    """Streams reports back from a JSONL(.gz) trace file."""
+#: Deduplication memory of the tolerant reader: enough to catch the
+#: adjacent re-deliveries a UDP path produces without unbounded state.
+_DEDUP_CAPACITY = 8_192
 
-    def __init__(self, path: str | Path) -> None:
+
+class TraceReader:
+    """Streams reports back from a JSONL(.gz) trace file.
+
+    In strict mode (default) a malformed line raises
+    :class:`TraceFormatError` naming the line number — or
+    :class:`TraceTruncatedError` when the damage is an incomplete final
+    line, the signature of a collector killed mid-write.  With
+    ``tolerant=True`` bad lines are skipped, exact duplicates dropped
+    and garbage-valued records quarantined; :attr:`health` describes the
+    most recent (complete) iteration.
+    """
+
+    def __init__(self, path: str | Path, *, tolerant: bool = False) -> None:
         self.path = Path(path)
+        self.tolerant = tolerant
+        self.health = TraceHealth()
+
+    def _open(self) -> io.TextIOBase:
+        if self.path.suffix == ".gz":
+            return gzip.open(self.path, "rt")
+        return open(self.path, "r")
 
     def __iter__(self) -> Iterator[PeerReport]:
-        if self.path.suffix == ".gz":
-            fh: io.TextIOBase = gzip.open(self.path, "rt")
+        health = self.health
+        health.reset()
+        seen: OrderedDict[tuple[float, int], None] = OrderedDict()
+        with self._open() as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.strip()
+                if not line:
+                    continue
+                health.lines_read += 1
+                try:
+                    report = PeerReport.from_json(line)
+                except (ValueError, KeyError, TypeError) as exc:
+                    truncated = not raw.endswith("\n")
+                    if self.tolerant:
+                        if truncated:
+                            health.truncated_lines += 1
+                        else:
+                            health.parse_failures += 1
+                        continue
+                    if truncated:
+                        raise TraceTruncatedError(
+                            f"{self.path}: truncated final line {lineno} "
+                            "(collector killed mid-write?); re-read with "
+                            "tolerant=True to skip it"
+                        ) from exc
+                    raise TraceFormatError(
+                        f"{self.path}: malformed record on line {lineno}: {exc}"
+                    ) from exc
+                if self.tolerant:
+                    if not report.is_wellformed():
+                        health.quarantined += 1
+                        continue
+                    key = (report.time, report.peer_ip)
+                    if key in seen:
+                        health.duplicates += 1
+                        continue
+                    seen[key] = None
+                    if len(seen) > _DEDUP_CAPACITY:
+                        seen.popitem(last=False)
+                health.records_ok += 1
+                yield report
+
+
+def sanitize(
+    reports: Iterable[PeerReport],
+    *,
+    slack_s: float = 600.0,
+    health: TraceHealth | None = None,
+) -> Iterator[PeerReport]:
+    """Re-sort a locally-disordered stream into time order.
+
+    Records are held back until the stream has advanced ``slack_s``
+    beyond them, which absorbs any reordering of bounded depth (a UDP
+    path reorders by packets, not hours).  A record arriving *behind*
+    already-released output cannot be placed and is quarantined.
+    Reorder statistics accumulate into ``health``.
+    """
+    if slack_s <= 0:
+        raise ValueError("slack must be positive")
+    health = health if health is not None else TraceHealth()
+    pending: list[tuple[float, int, PeerReport]] = []
+    seq = 0
+    last_seen: float | None = None
+    released: float | None = None
+    for report in reports:
+        if last_seen is not None and report.time < last_seen:
+            health.reordered += 1
+            health.max_reorder_depth_s = max(
+                health.max_reorder_depth_s, last_seen - report.time
+            )
         else:
-            fh = open(self.path, "r")
-        with fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    yield PeerReport.from_json(line)
+            last_seen = report.time
+        if released is not None and report.time < released:
+            health.quarantined += 1
+            continue
+        seq += 1
+        heapq.heappush(pending, (report.time, seq, report))
+        while pending and pending[0][0] <= last_seen - slack_s:
+            t, _, ready = heapq.heappop(pending)
+            released = t
+            yield ready
+    while pending:
+        t, _, ready = heapq.heappop(pending)
+        yield ready
+
+
+class TolerantTraceReader:
+    """Re-iterable dirty-trace pipeline: parse-skip, dedup, local re-sort.
+
+    Drop-in for :class:`TraceReader` wherever analytics expects a
+    re-iterable, time-ordered trace; after a full iteration
+    :attr:`health` combines the parse-level and ordering-level counters
+    of that pass.
+    """
+
+    def __init__(self, path: str | Path, *, slack_s: float = 600.0) -> None:
+        self.path = Path(path)
+        self.slack_s = slack_s
+        self._reader = TraceReader(path, tolerant=True)
+        self.health = TraceHealth()
+
+    def __iter__(self) -> Iterator[PeerReport]:
+        self.health.reset()
+        yield from sanitize(
+            iter(self._reader), slack_s=self.slack_s, health=self.health
+        )
+        # The inner reader resets its own counters per pass; fold the
+        # completed pass's parse-level counts into the combined view.
+        self.health.merge(self._reader.health)
 
 
 def iter_windows(
-    reports: Iterable[PeerReport], window_seconds: float, *, start: float = 0.0
+    reports: Iterable[PeerReport],
+    window_seconds: float,
+    *,
+    start: float = 0.0,
+    tolerant: bool = False,
+    health: TraceHealth | None = None,
 ) -> Iterator[tuple[float, list[PeerReport]]]:
     """Group time-ordered reports into consecutive windows.
 
     Yields ``(window_start, reports_in_window)`` for every non-empty
-    window.  Raises ``ValueError`` if input order regresses across a
-    window boundary (a corrupted or unsorted trace).
+    window.  In strict mode (default), raises ``ValueError`` if input
+    order regresses across a window boundary (a corrupted or unsorted
+    trace).  With ``tolerant=True`` the stream is first passed through
+    :func:`sanitize` (slack of one window), so bounded reordering is
+    repaired and hopelessly late records are quarantined into
+    ``health`` instead of raising.
     """
     if window_seconds <= 0:
         raise ValueError("window must be positive")
+    if tolerant:
+        reports = sanitize(reports, slack_s=window_seconds, health=health)
     current_start: float | None = None
     bucket: list[PeerReport] = []
     for report in reports:

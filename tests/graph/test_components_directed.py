@@ -1,7 +1,6 @@
 """Unit and property tests for strongly connected components."""
 
 import networkx as nx
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

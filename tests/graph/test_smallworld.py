@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.graph import Graph, small_world_metrics
 from repro.graph.smallworld import SmallWorldMetrics
 

@@ -337,6 +337,7 @@ class TestMaintenance:
         tracker.register(0, 9)
         tracker.volunteer(0, 9)
         a = make_peer(peers, 1, health=0.1)
+        a.registered = True  # admitted normally; starvation should refresh
         before = tracker.refresh_requests
         for _ in range(ex.config.starvation_ticks):
             ex._starvation_check(a)

@@ -69,6 +69,20 @@ class TestInfo:
         assert rc == 2
         assert "no such trace" in capsys.readouterr().err
 
+    def test_tolerant_reports_health(self, cli_trace, tmp_path, capsys):
+        # a dirty copy: duplicate one line, truncate the last one
+        import gzip
+
+        lines = gzip.open(cli_trace, "rt").readlines()
+        dirty = tmp_path / "dirty.jsonl"
+        dirty.write_text(
+            lines[0] + lines[0] + "".join(lines[1:-1]) + lines[-1][:30]
+        )
+        assert main(["info", "--trace", str(dirty), "--tolerant"]) == 0
+        out = capsys.readouterr().out
+        assert "trace health" in out
+        assert "duplicates dropped" in out
+
 
 class TestAnalyze:
     def test_single_figure(self, cli_trace, capsys):

@@ -1,6 +1,5 @@
 """Tests for ISP-preserving trace anonymisation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
