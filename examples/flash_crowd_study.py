@@ -55,7 +55,7 @@ def main() -> None:
     for label, when in (("normal 9pm", normal_evening), ("flash crowd 9pm", crowd_peak)):
         idx = min(
             range(len(fig1.series.times)),
-            key=lambda i: abs(fig1.series.times[i] - when),
+            key=lambda i, t=when: abs(fig1.series.times[i] - t),
         )
         rows.append(
             [

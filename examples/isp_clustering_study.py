@@ -25,7 +25,7 @@ from repro.simulator.protocol import SelectionPolicy
 from repro.traces import TraceReader
 
 
-def run_policy(policy: SelectionPolicy, tmp: Path):
+def run_policy(policy: SelectionPolicy, tmp: Path) -> TraceReader:
     path = tmp / f"{policy.value}.jsonl.gz"
     run_simulation_to_trace(
         path,

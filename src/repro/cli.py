@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the whole pipeline:
+Four subcommands cover the whole pipeline:
 
 - ``simulate`` — run a UUSee deployment and write its Magellan trace;
 - ``analyze``  — regenerate any paper figure (or all) from a trace,
   printing the series and optionally exporting CSV;
-- ``info``     — summarise a trace (span, peers, reports, dynamics).
+- ``info``     — summarise a trace (span, peers, reports, dynamics);
+- ``qa``       — determinism & correctness static analysis (the CI gate).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.core.report import (
     format_trace_health,
     write_csv,
 )
+from repro.qa.cli import add_qa_arguments, run_qa
 from repro.simulator.protocol import SelectionPolicy
 from repro.traces.store import TolerantTraceReader, TraceReader
 
@@ -78,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read a dirty trace and print a trace-health summary",
     )
+
+    qa = sub.add_parser(
+        "qa", help="determinism & correctness static analysis (REP rules)"
+    )
+    add_qa_arguments(qa)
     return parser
 
 
@@ -286,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_analyze(args)
     if args.command == "info":
         return cmd_info(args)
+    if args.command == "qa":
+        return run_qa(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

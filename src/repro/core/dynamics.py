@@ -13,7 +13,7 @@ measurement studies (e.g. Stutzbach et al.'s churn work) do:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.traces.records import PeerReport
 from repro.traces.store import iter_windows

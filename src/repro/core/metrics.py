@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.graph.degree import DegreeDistribution
 from repro.graph.digraph import DiGraph

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.timeseries import SnapshotSeries
 from repro.traces.health import TraceHealth

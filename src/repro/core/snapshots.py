@@ -16,7 +16,7 @@ A snapshot summarises one observation window of the trace:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.graph.digraph import DiGraph, Graph
 from repro.traces.records import PeerReport

@@ -10,7 +10,7 @@ resident in memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.core.snapshots import TopologySnapshot, build_snapshot
 from repro.traces.records import PeerReport

@@ -11,11 +11,10 @@ summarised as one Newman coefficient.
 from __future__ import annotations
 
 import math
-from typing import Callable, Hashable
+from collections.abc import Callable
 
-from repro.graph.digraph import Graph
-
-Node = Hashable
+from repro.graph.digraph import Graph, Node
+from repro.stats import near_zero
 
 
 def degree_assortativity(graph: Graph) -> float:
@@ -39,7 +38,7 @@ def degree_assortativity(graph: Graph) -> float:
     cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
     var_x = sum((x - mean_x) ** 2 for x in xs)
     var_y = sum((y - mean_y) ** 2 for y in ys)
-    if var_x == 0.0 or var_y == 0.0:
+    if near_zero(var_x) or near_zero(var_y):
         return 0.0
     return cov / math.sqrt(var_x * var_y)
 

@@ -8,11 +8,7 @@ density.  These functions operate on the undirected stable-peer graph.
 
 from __future__ import annotations
 
-from typing import Hashable
-
-from repro.graph.digraph import Graph
-
-Node = Hashable
+from repro.graph.digraph import Graph, Node
 
 
 def local_clustering(graph: Graph, node: Node) -> float:
@@ -42,7 +38,7 @@ def average_clustering(graph: Graph, *, count_isolated: bool = True) -> float:
     n vertices) includes degree<2 vertices as zeros; with ``False`` they
     are excluded from the mean.
     """
-    coeffs = []
+    coeffs: list[float] = []
     for node in graph.nodes():
         if graph.degree(node) < 2 and not count_isolated:
             continue

@@ -9,11 +9,7 @@ limit otherwise.
 
 from __future__ import annotations
 
-from typing import Hashable
-
-from repro.graph.digraph import DiGraph
-
-Node = Hashable
+from repro.graph.digraph import DiGraph, Node
 
 
 def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Literal, Sequence
+from typing import Literal
 
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, Node
+from repro.stats import near_zero
 
 DegreeKind = Literal["in", "out", "total"]
 
@@ -28,7 +30,7 @@ class DegreeDistribution:
     num_peers: int
 
     @classmethod
-    def from_degrees(cls, degrees: Iterable[int]) -> "DegreeDistribution":
+    def from_degrees(cls, degrees: Iterable[int]) -> DegreeDistribution:
         counter = Counter(degrees)
         items = tuple(sorted(counter.items()))
         return cls(counts=items, num_peers=sum(counter.values()))
@@ -104,7 +106,9 @@ class DegreeDistribution:
         return last
 
 
-def degrees_of(graph: DiGraph, kind: DegreeKind, nodes: Sequence | None = None) -> list[int]:
+def degrees_of(
+    graph: DiGraph, kind: DegreeKind, nodes: Sequence[Node] | None = None
+) -> list[int]:
     """Degrees of ``nodes`` (default: all vertices) in ``graph``.
 
     ``total`` counts distinct neighbours in either direction, matching the
@@ -121,7 +125,7 @@ def degrees_of(graph: DiGraph, kind: DegreeKind, nodes: Sequence | None = None) 
 
 
 def degree_distribution(
-    graph: DiGraph, kind: DegreeKind = "total", nodes: Sequence | None = None
+    graph: DiGraph, kind: DegreeKind = "total", nodes: Sequence[Node] | None = None
 ) -> DegreeDistribution:
     """Empirical degree distribution of ``graph`` restricted to ``nodes``."""
     return DegreeDistribution.from_degrees(degrees_of(graph, kind, nodes))
@@ -167,11 +171,11 @@ def powerlaw_fit(dist: DegreeDistribution, *, min_degree: int = 1) -> PowerLawFi
     sxx = sum((x - mean_x) ** 2 for x, _ in points)
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
     syy = sum((y - mean_y) ** 2 for _, y in points)
-    if sxx == 0.0:
+    if near_zero(sxx):
         return PowerLawFit(exponent=0.0, intercept=mean_y, r_squared=0.0, num_points=n)
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
-    r_squared = 0.0 if syy == 0.0 else (sxy * sxy) / (sxx * syy)
+    r_squared = 0.0 if near_zero(syy) else (sxy * sxy) / (sxx * syy)
     return PowerLawFit(
         exponent=slope, intercept=intercept, r_squared=r_squared, num_points=n
     )

@@ -8,7 +8,7 @@ vertex's neighbourhood O(degree).  Vertices may be any hashable value
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 Node = Hashable
 
@@ -99,7 +99,7 @@ class Graph:
         """Edge count."""
         return self._num_edges
 
-    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+    def subgraph(self, nodes: Iterable[Node]) -> Graph:
         """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
         keep = {n for n in nodes if n in self._adj}
         sub = Graph()
@@ -222,7 +222,7 @@ class DiGraph:
             return 0.0
         return self._num_edges / (n * (n - 1))
 
-    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+    def subgraph(self, nodes: Iterable[Node]) -> DiGraph:
         """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
         keep = {n for n in nodes if n in self._succ}
         sub = DiGraph()
@@ -244,7 +244,7 @@ class DiGraph:
                 g.add_edge(u, v)
         return g
 
-    def reverse(self) -> "DiGraph":
+    def reverse(self) -> DiGraph:
         """A new graph with every edge direction flipped."""
         rev = DiGraph()
         for n in self._succ:

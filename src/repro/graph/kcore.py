@@ -8,11 +8,7 @@ time via the Batagelj-Zaversnik bucket algorithm.
 
 from __future__ import annotations
 
-from typing import Hashable
-
-from repro.graph.digraph import Graph
-
-Node = Hashable
+from repro.graph.digraph import Graph, Node
 
 
 def core_numbers(graph: Graph) -> dict[Node, int]:

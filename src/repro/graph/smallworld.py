@@ -16,6 +16,7 @@ from repro.graph.clustering import average_clustering
 from repro.graph.digraph import Graph
 from repro.graph.random_graphs import matched_random_graph
 from repro.graph.traversal import average_shortest_path_length
+from repro.stats import near_zero
 
 
 @dataclass(frozen=True)
@@ -32,14 +33,14 @@ class SmallWorldMetrics:
     @property
     def clustering_ratio(self) -> float:
         """C_g / C_r (inf if the baseline has zero clustering)."""
-        if self.random_clustering == 0.0:
+        if near_zero(self.random_clustering):
             return float("inf") if self.clustering > 0.0 else 0.0
         return self.clustering / self.random_clustering
 
     @property
     def path_length_ratio(self) -> float:
         """L_g / L_r (0 when either is undefined)."""
-        if self.random_path_length == 0.0:
+        if near_zero(self.random_path_length):
             return 0.0
         return self.path_length / self.random_path_length
 

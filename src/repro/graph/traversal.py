@@ -11,17 +11,15 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Hashable, Iterable
+from collections.abc import Iterable
 
-from repro.graph.digraph import Graph
-
-Node = Hashable
+from repro.graph.digraph import Graph, Node
 
 
 def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
     """Hop distance from ``source`` to every reachable vertex."""
-    dist = {source: 0}
-    frontier = deque([source])
+    dist: dict[Node, int] = {source: 0}
+    frontier: deque[Node] = deque([source])
     while frontier:
         u = frontier.popleft()
         du = dist[u]

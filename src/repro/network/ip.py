@@ -48,7 +48,7 @@ class CidrBlock:
             )
 
     @classmethod
-    def parse(cls, text: str) -> "CidrBlock":
+    def parse(cls, text: str) -> CidrBlock:
         """Parse ``'a.b.c.d/p'`` notation."""
         addr, _, prefix = text.partition("/")
         return cls(parse_ip(addr), int(prefix))

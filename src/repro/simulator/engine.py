@@ -9,7 +9,8 @@ execute callbacks in exactly the same order.  Cancellation is lazy
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 
 class ScheduledEvent:
@@ -30,7 +31,7 @@ class ScheduledEvent:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
 
-    def __lt__(self, other: "ScheduledEvent") -> bool:
+    def __lt__(self, other: ScheduledEvent) -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 

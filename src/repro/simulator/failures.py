@@ -38,7 +38,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 
 def _check_window(start: float, end: float) -> None:
@@ -126,7 +126,7 @@ class OutageSchedule:
         """No failures scheduled."""
         return not self.tracker_outages and not self.server_outages
 
-    def merged_with(self, other: "OutageSchedule") -> "OutageSchedule":
+    def merged_with(self, other: OutageSchedule) -> OutageSchedule:
         """A new schedule holding both schedules' windows."""
         return OutageSchedule(
             tracker_outages=self.tracker_outages + other.tracker_outages,
@@ -312,7 +312,7 @@ class FaultPlan:
             sum(c.rate_per_hour for c in self.crashes if c.active(now)) / 3_600.0
         )
 
-    def merged_with_outages(self, outages: OutageSchedule) -> "FaultPlan":
+    def merged_with_outages(self, outages: OutageSchedule) -> FaultPlan:
         """A new plan with ``outages`` folded in (other axes shared)."""
         if outages.empty:
             return self

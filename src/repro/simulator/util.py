@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 Item = Hashable
 

@@ -1,20 +1,38 @@
 """Small statistics toolkit used by experiments and benchmarks.
 
 From-scratch implementations (validated against scipy in the tests) of
-the two tools the reproduction pipeline needs:
+the tools the reproduction pipeline needs:
 
 - the two-sample Kolmogorov-Smirnov test, to quantify whether two
   degree distributions (e.g. morning vs flash crowd in Fig. 4) differ;
 - seeded bootstrap confidence intervals for means of small metric
-  series (the evolution figures have a few dozen post-warmup points).
+  series (the evolution figures have a few dozen post-warmup points);
+- :func:`near_zero`, the shared float-degeneracy guard the REP004 lint
+  rule points metric code at.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
+
+#: Default tolerance for :func:`near_zero`: far below any variance or
+#: clustering value the analytics treat as meaningful, far above the
+#: accumulation noise of summing a few million doubles.
+NEAR_ZERO_EPS = 1e-12
+
+
+def near_zero(x: float, eps: float = NEAR_ZERO_EPS) -> bool:
+    """True when ``x`` is within ``eps`` of zero.
+
+    The metric layer uses this instead of ``x == 0.0`` to guard
+    degenerate denominators (zero variance, zero baseline clustering):
+    exact float equality silently misses values that are zero up to
+    rounding, sending them down the divide path with garbage results.
+    """
+    return abs(x) <= eps
 
 
 @dataclass(frozen=True)

@@ -171,7 +171,7 @@ class FaultyChannel:
         if close is not None:
             close()
 
-    def __enter__(self) -> "FaultyChannel":
+    def __enter__(self) -> FaultyChannel:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -44,7 +44,7 @@ class TraceHealth:
         for f in fields(self):
             setattr(self, f.name, type(getattr(self, f.name))(0))
 
-    def merge(self, other: "TraceHealth") -> None:
+    def merge(self, other: TraceHealth) -> None:
         """Fold another pass's counters into this one."""
         self.lines_read += other.lines_read
         self.records_ok += other.records_ok

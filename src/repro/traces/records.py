@@ -27,7 +27,7 @@ class PartnerRecord:
         return [self.ip, self.port, self.sent_segments, self.recv_segments]
 
     @classmethod
-    def from_array(cls, arr: list[int]) -> "PartnerRecord":
+    def from_array(cls, arr: list[int]) -> PartnerRecord:
         if len(arr) != 4:
             raise ValueError(f"partner record needs 4 fields, got {len(arr)}")
         return cls(ip=arr[0], port=arr[1], sent_segments=arr[2], recv_segments=arr[3])
@@ -67,7 +67,7 @@ class PeerReport:
         return json.dumps(obj, separators=(",", ":"))
 
     @classmethod
-    def from_json(cls, line: str) -> "PeerReport":
+    def from_json(cls, line: str) -> PeerReport:
         obj = json.loads(line)
         return cls(
             time=float(obj["t"]),

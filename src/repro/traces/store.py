@@ -22,7 +22,8 @@ import heapq
 import io
 from collections import OrderedDict
 from pathlib import Path
-from typing import Iterable, Iterator, Protocol
+from collections.abc import Iterable, Iterator
+from typing import Protocol
 
 from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
@@ -125,7 +126,7 @@ class JsonlTraceStore:
         if not self._fh.closed:
             self._fh.close()
 
-    def __enter__(self) -> "JsonlTraceStore":
+    def __enter__(self) -> JsonlTraceStore:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -157,7 +158,7 @@ class TraceReader:
     def _open(self) -> io.TextIOBase:
         if self.path.suffix == ".gz":
             return gzip.open(self.path, "rt")
-        return open(self.path, "r")
+        return open(self.path)
 
     def __iter__(self) -> Iterator[PeerReport]:
         health = self.health

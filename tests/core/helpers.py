@@ -3,22 +3,22 @@
 from repro.traces import PartnerRecord, PeerReport
 
 
-def partner(ip, sent=0, recv=0):
+def partner(ip, sent=0, recv=0) -> PartnerRecord:
     return PartnerRecord(ip=ip, port=20000, sent_segments=sent, recv_segments=recv)
 
 
-def report(ip, t=0.0, channel=0, recv_rate=400.0, partners=(), **overrides):
-    fields = dict(
-        time=t,
-        peer_ip=ip,
-        channel_id=channel,
-        buffer_fill=0.9,
-        playback_position=int(t),
-        download_capacity_kbps=2000.0,
-        upload_capacity_kbps=600.0,
-        recv_rate_kbps=recv_rate,
-        sent_rate_kbps=200.0,
-        partners=tuple(partners),
-    )
+def report(ip, t=0.0, channel=0, recv_rate=400.0, partners=(), **overrides) -> PeerReport:
+    fields = {
+        "time": t,
+        "peer_ip": ip,
+        "channel_id": channel,
+        "buffer_fill": 0.9,
+        "playback_position": int(t),
+        "download_capacity_kbps": 2000.0,
+        "upload_capacity_kbps": 600.0,
+        "recv_rate_kbps": recv_rate,
+        "sent_rate_kbps": 200.0,
+        "partners": tuple(partners),
+    }
     fields.update(overrides)
     return PeerReport(**fields)

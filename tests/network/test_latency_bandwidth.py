@@ -47,7 +47,7 @@ class TestLatencyModel:
         model = LatencyModel(seed=3)
         rtts = [model.sample_link("A", "A").rtt_ms for _ in range(100)]
         assert all(r > 0 for r in rtts)
-        assert len(set(round(r, 6) for r in rtts)) > 50  # actually jittered
+        assert len({round(r, 6) for r in rtts}) > 50  # actually jittered
 
 
 class TestBandwidthSampler:

@@ -1,0 +1,11 @@
+"""REP001 negative: draws from an injected, seeded generator."""
+
+import random
+
+
+def _jitter(rng: random.Random) -> float:
+    return rng.uniform(0.0, 1.0)
+
+
+def _make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

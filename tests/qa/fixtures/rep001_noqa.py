@@ -1,0 +1,7 @@
+"""REP001 suppression: global draw acknowledged with a reason."""
+
+import random
+
+
+def _jitter() -> float:
+    return random.uniform(0.0, 1.0)  # repro: noqa[REP001] fixture demo only

@@ -1,0 +1,7 @@
+"""REP001 positive: draws from the module-level (shared, unseeded) RNG."""
+
+import random
+
+
+def _jitter() -> float:
+    return random.uniform(0.0, 1.0)

@@ -1,0 +1,7 @@
+"""REP002 scoping: wall-clock reads are allowed outside simulator/traces/core."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""REP003 negative: candidates are sorted before the draw."""
+
+import random
+
+
+def _pick(rng: random.Random, table: dict[int, str]) -> str:
+    return rng.choice(sorted(table.values()))

@@ -1,0 +1,7 @@
+"""REP003 suppression: unordered feed acknowledged with a reason."""
+
+import random
+
+
+def _pick(rng: random.Random, table: dict[int, str]) -> str:
+    return rng.choice(list(table.values()))  # repro: noqa[REP003] fixture demo only

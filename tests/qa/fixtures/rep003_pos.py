@@ -1,0 +1,7 @@
+"""REP003 positive: RNG choice fed by a dict view's iteration order."""
+
+import random
+
+
+def _pick(rng: random.Random, table: dict[int, str]) -> str:
+    return rng.choice(list(table.values()))

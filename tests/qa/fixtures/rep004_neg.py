@@ -1,0 +1,7 @@
+"""REP004 negative: epsilon-band comparison."""
+
+
+def _ratio(num: float, den: float) -> float:
+    if abs(den) <= 1e-12:
+        return 0.0
+    return num / den

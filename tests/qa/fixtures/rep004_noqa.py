@@ -1,0 +1,5 @@
+"""REP004 suppression: exact sentinel comparison acknowledged."""
+
+
+def _is_unset(value: float) -> bool:
+    return value == -1.0  # repro: noqa[REP004] -1.0 is an exact sentinel

@@ -1,0 +1,7 @@
+"""REP004 positive: exact float equality guarding a division."""
+
+
+def _ratio(num: float, den: float) -> float:
+    if den == 0.0:
+        return 0.0
+    return num / den

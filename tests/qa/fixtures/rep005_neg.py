@@ -1,0 +1,9 @@
+"""REP005 negative: handler names the exceptions the block can raise."""
+
+
+def _read(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError):
+        return ""

@@ -1,0 +1,9 @@
+"""REP005 suppression: broad handler acknowledged with a reason."""
+
+
+def _read(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:  # repro: noqa[REP005] fixture demo only
+        return ""

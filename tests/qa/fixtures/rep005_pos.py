@@ -1,0 +1,17 @@
+"""REP005 positive: bare and broad exception handlers."""
+
+
+def _read(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:
+        return ""
+
+
+def _read_quietly(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except:  # noqa: E722 (deliberately bare for the fixture)
+        return ""

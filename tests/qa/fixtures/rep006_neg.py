@@ -1,0 +1,8 @@
+"""REP006 negative: None default, constructed inside the body."""
+
+
+def _collect(item: int, acc: list[int] | None = None) -> list[int]:
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

@@ -1,0 +1,6 @@
+"""REP006 suppression: shared default acknowledged with a reason."""
+
+
+def _collect(item: int, acc: list[int] = []) -> list[int]:  # repro: noqa[REP006] fixture demo only
+    acc.append(item)
+    return acc

@@ -1,0 +1,6 @@
+"""REP006 positive: mutable default argument shared across calls."""
+
+
+def _collect(item: int, acc: list[int] = []) -> list[int]:
+    acc.append(item)
+    return acc

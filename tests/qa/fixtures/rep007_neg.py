@@ -1,0 +1,12 @@
+"""REP007 negative: public annotated, private and nested exempt."""
+
+
+def answer() -> int:
+    def helper():
+        return 21
+
+    return helper() * 2
+
+
+def _private_helper():
+    return 0

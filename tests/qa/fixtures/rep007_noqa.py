@@ -1,0 +1,5 @@
+"""REP007 suppression: missing annotation acknowledged with a reason."""
+
+
+def answer():  # repro: noqa[REP007] fixture demo only
+    return 42

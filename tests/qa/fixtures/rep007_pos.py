@@ -1,0 +1,5 @@
+"""REP007 positive: public function with no return annotation."""
+
+
+def answer():
+    return 42

@@ -1,0 +1,13 @@
+"""REP008 negative: iterate a snapshot, mutate the original."""
+
+
+def _sweep(table: dict[int, str]) -> None:
+    for key, value in list(table.items()):
+        if not value:
+            del table[key]
+
+
+def _drain(live: set[int]) -> None:
+    doomed = [member for member in live if member < 0]
+    for member in doomed:
+        live.discard(member)

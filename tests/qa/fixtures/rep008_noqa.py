@@ -1,0 +1,7 @@
+"""REP008 suppression: in-loop mutation acknowledged with a reason."""
+
+
+def _sweep(table: dict[int, str]) -> None:
+    for key, value in table.items():
+        if not value:
+            del table[key]  # repro: noqa[REP008] fixture demo only

@@ -1,0 +1,13 @@
+"""REP008 positive: container mutated while being iterated."""
+
+
+def _sweep(table: dict[int, str]) -> None:
+    for key, value in table.items():
+        if not value:
+            del table[key]
+
+
+def _drain(live: set[int]) -> None:
+    for member in live:
+        if member < 0:
+            live.discard(member)

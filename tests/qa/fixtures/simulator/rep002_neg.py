@@ -1,0 +1,5 @@
+"""REP002 negative: time flows in from the event engine."""
+
+
+def _stamp(now: float) -> float:
+    return now

@@ -1,0 +1,7 @@
+"""REP002 suppression: wall-clock read acknowledged with a reason."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()  # repro: noqa[REP002] fixture demo only

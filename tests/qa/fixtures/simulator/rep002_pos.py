@@ -1,0 +1,7 @@
+"""REP002 positive: wall-clock read in a simulated-time package."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()

@@ -1,0 +1,92 @@
+"""Per-rule fixture tests: positive, negative, and noqa-suppression cases.
+
+Each rule has three snippet files under ``fixtures/``; REP002's live in
+``fixtures/simulator/`` because the rule is path-scoped to the
+simulated-time packages.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import all_rules, scan_paths
+from repro.qa.engine import UNUSED_SUPPRESSION_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> fixture directory (REP002 needs a scoped path segment).
+CASES = {
+    "REP001": FIXTURES,
+    "REP002": FIXTURES / "simulator",
+    "REP003": FIXTURES,
+    "REP004": FIXTURES,
+    "REP005": FIXTURES,
+    "REP006": FIXTURES,
+    "REP007": FIXTURES,
+    "REP008": FIXTURES,
+}
+
+
+def findings_for(path: Path) -> list:
+    return scan_paths([path]).findings
+
+
+def fixture(rule_id: str, kind: str) -> Path:
+    path = CASES[rule_id] / f"{rule_id.lower()}_{kind}.py"
+    assert path.exists(), f"missing fixture {path}"
+    return path
+
+
+class TestFixtureMatrix:
+    @pytest.mark.parametrize("rule_id", sorted(CASES))
+    def test_positive_fires(self, rule_id):
+        findings = findings_for(fixture(rule_id, "pos"))
+        assert any(f.rule_id == rule_id for f in findings), (
+            f"{rule_id} did not fire on its positive fixture: {findings}"
+        )
+
+    @pytest.mark.parametrize("rule_id", sorted(CASES))
+    def test_positive_gates_cli(self, rule_id, capsys):
+        from repro.cli import main
+
+        assert main(["qa", str(fixture(rule_id, "pos"))]) == 1
+        assert rule_id in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule_id", sorted(CASES))
+    def test_negative_is_clean(self, rule_id):
+        findings = findings_for(fixture(rule_id, "neg"))
+        assert [f for f in findings if f.rule_id == rule_id] == []
+
+    @pytest.mark.parametrize("rule_id", sorted(CASES))
+    def test_noqa_suppresses_without_leftovers(self, rule_id):
+        # the suppression silences the rule AND counts as used (no REP000)
+        findings = findings_for(fixture(rule_id, "noqa"))
+        assert [f for f in findings if f.rule_id == rule_id] == []
+        assert [f for f in findings if f.rule_id == UNUSED_SUPPRESSION_ID] == []
+
+
+class TestScoping:
+    def test_rep002_out_of_scope_path_is_exempt(self):
+        findings = findings_for(FIXTURES / "rep002_out_of_scope.py")
+        assert [f for f in findings if f.rule_id == "REP002"] == []
+
+    def test_rep004_exempts_test_modules(self):
+        from pathlib import PurePath
+
+        from repro.qa import scan_source
+
+        source = "def _check(x: float) -> bool:\n    return x == 0.5\n"
+        hit, _ = scan_source(source, PurePath("src/repro/metrics.py"))
+        clean, _ = scan_source(source, PurePath("tests/test_metrics.py"))
+        assert any(f.rule_id == "REP004" for f in hit)
+        assert not any(f.rule_id == "REP004" for f in clean)
+
+
+class TestRegistry:
+    def test_eight_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == [f"REP00{i}" for i in range(1, 9)]
+
+    def test_rules_document_themselves(self):
+        for rule in all_rules():
+            assert rule.title and rule.rationale

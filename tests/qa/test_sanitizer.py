@@ -1,0 +1,137 @@
+"""Runtime sanitizer tests: the guard and the draw audit."""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.qa import (
+    DrawAudit,
+    NondeterminismError,
+    assert_identical_draws,
+    audited,
+    deterministic_guard,
+)
+
+
+class TestDeterministicGuard:
+    def test_catches_planted_global_draw(self):
+        # the acceptance scenario: a deliberately planted random.random()
+        def planted() -> float:
+            return random.random()  # repro: noqa[REP001] exercising the guard
+
+        with deterministic_guard():
+            with pytest.raises(NondeterminismError, match="random.random"):
+                planted()
+
+    def test_catches_other_global_draws(self):
+        with deterministic_guard():
+            for draw in (
+                lambda: random.randrange(10),  # repro: noqa[REP001] exercising the guard
+                lambda: random.choice([1, 2]),  # repro: noqa[REP001] exercising the guard
+                lambda: random.uniform(0.0, 1.0),  # repro: noqa[REP001] exercising the guard
+                lambda: random.seed(0),  # repro: noqa[REP001] exercising the guard
+            ):
+                with pytest.raises(NondeterminismError):
+                    draw()
+
+    def test_catches_wall_clock_and_urandom(self):
+        with deterministic_guard():
+            with pytest.raises(NondeterminismError, match="time.time"):
+                time.time()
+            with pytest.raises(NondeterminismError, match="os.urandom"):
+                os.urandom(4)
+
+    def test_injected_generator_still_works(self):
+        with deterministic_guard():
+            rng = random.Random(42)
+            values = [rng.random() for _ in range(3)]
+        control = random.Random(42)
+        assert values == [control.random() for _ in range(3)]
+
+    def test_everything_restored_after_exit(self):
+        before = time.time
+        with deterministic_guard():
+            pass
+        assert time.time is before
+        assert isinstance(random.random(), float)  # repro: noqa[REP001] exercising the guard
+        assert isinstance(os.urandom(2), bytes)
+
+    def test_restored_even_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with deterministic_guard():
+                raise RuntimeError("boom")
+        assert isinstance(random.random(), float)  # repro: noqa[REP001] exercising the guard
+
+    def test_narrowing_flags(self):
+        with deterministic_guard(wall_clock=False, entropy=False):
+            assert time.time() > 0
+            assert len(os.urandom(2)) == 2
+        with deterministic_guard(allow=["random"]):
+            assert isinstance(random.random(), float)  # repro: noqa[REP001] exercising the guard
+            with pytest.raises(NondeterminismError):
+                random.randrange(3)  # repro: noqa[REP001] exercising the guard
+
+
+class TestDrawAudit:
+    def test_counts_and_fingerprint(self):
+        with DrawAudit() as audit:
+            rng = random.Random(1)
+            rng.random()
+            rng.random()
+            rng.randrange(100)  # getrandbits path
+        snap = audit.snapshot()
+        assert snap.float_draws == 2
+        assert snap.bit_draws >= 1
+        assert snap.total == snap.float_draws + snap.bit_draws
+        assert len(snap.fingerprint) == 64
+
+    def test_identical_seeds_identical_snapshots(self):
+        def run() -> list[float]:
+            rng = random.Random(7)
+            return [rng.gauss(0.0, 1.0) for _ in range(50)]
+
+        (out_a, snap_a), (out_b, snap_b) = assert_identical_draws(run)
+        assert out_a == out_b
+        assert snap_a == snap_b
+
+    def test_divergent_draw_counts_detected(self):
+        calls = [0]
+
+        def leaky() -> None:
+            calls[0] += 1
+            rng = random.Random(7)
+            for _ in range(calls[0]):  # draws once more on every run
+                rng.random()
+
+        with pytest.raises(NondeterminismError, match="diverged"):
+            assert_identical_draws(leaky)
+
+    def test_divergent_values_detected_even_with_equal_counts(self):
+        calls = [0]
+
+        def shifty() -> None:
+            calls[0] += 1
+            random.Random(calls[0]).random()  # same count, different value
+
+        with pytest.raises(NondeterminismError, match="diverged"):
+            assert_identical_draws(shifty)
+
+    def test_audited_returns_result(self):
+        result, snap = audited(lambda: random.Random(3).random())
+        assert isinstance(result, float)
+        assert snap.float_draws == 1
+
+    def test_not_reentrant(self):
+        with DrawAudit():
+            with pytest.raises(RuntimeError, match="reentrant"):
+                with DrawAudit():
+                    pass  # pragma: no cover
+
+    def test_instrumentation_removed_after_exit(self):
+        with DrawAudit() as audit:
+            random.Random(0).random()
+        count = audit.snapshot().total
+        random.Random(0).random()  # outside the audit: must not count
+        assert audit.snapshot().total == count

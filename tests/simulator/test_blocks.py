@@ -8,7 +8,7 @@ from repro.simulator.blocks import BlockSwarm, SwarmConfig
 
 
 def small_swarm(**overrides):
-    fields = dict(num_peers=30, seed=3)
+    fields = {"num_peers": 30, "seed": 3}
     fields.update(overrides)
     return BlockSwarm(SwarmConfig(**fields))
 

@@ -86,7 +86,7 @@ class TestConnect:
         # servers accept beyond the normal cap
         server = make_peer(peers, 99, is_server=True)
         b = others[2]
-        for i, o in enumerate(others):
+        for o in others:
             if o is not b:
                 ex.connect(b, o, 0.0)
         assert ex.connect(b, server, 0.0) or len(b.partners) >= 2

@@ -6,17 +6,17 @@ from repro.simulator.peer import Link, Peer
 
 
 def make_peer(peer_id=1, **overrides):
-    fields = dict(
-        ip=1000 + peer_id,
-        isp="China Telecom",
-        is_china=True,
-        channel_id=0,
-        upload_kbps=800.0,
-        download_kbps=4000.0,
-        class_name="cable",
-        join_time=100.0,
-        depart_time=5000.0,
-    )
+    fields = {
+        "ip": 1000 + peer_id,
+        "isp": "China Telecom",
+        "is_china": True,
+        "channel_id": 0,
+        "upload_kbps": 800.0,
+        "download_kbps": 4000.0,
+        "class_name": "cable",
+        "join_time": 100.0,
+        "depart_time": 5000.0,
+    }
     fields.update(overrides)
     return Peer(peer_id, **fields)
 

@@ -12,7 +12,7 @@ from repro.workloads import FlashCrowdEvent
 
 
 def run_system(**overrides):
-    defaults = dict(seed=7, base_concurrency=200.0, flash_crowd=None)
+    defaults = {"seed": 7, "base_concurrency": 200.0, "flash_crowd": None}
     defaults.update(overrides)
     hours = defaults.pop("hours", 6)
     config = SystemConfig(**defaults)

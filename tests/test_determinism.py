@@ -23,9 +23,12 @@ class TestTraceDeterminism:
     @pytest.fixture(scope="class")
     def twin_traces(self, tmp_path_factory):
         base = tmp_path_factory.mktemp("determinism")
-        kwargs = dict(
-            days=0.3, base_concurrency=150, seed=123, with_flash_crowd=False
-        )
+        kwargs = {
+            "days": 0.3,
+            "base_concurrency": 150,
+            "seed": 123,
+            "with_flash_crowd": False,
+        }
         a = run_simulation_to_trace(base / "a.jsonl", **kwargs)
         b = run_simulation_to_trace(base / "b.jsonl", **kwargs)
         return a, b

@@ -6,21 +6,21 @@ from repro.traces import PartnerRecord, PeerReport
 
 
 def sample_report(**overrides):
-    fields = dict(
-        time=1234.5,
-        peer_ip=167772161,
-        channel_id=3,
-        buffer_fill=0.75,
-        playback_position=420,
-        download_capacity_kbps=2048.0,
-        upload_capacity_kbps=512.0,
-        recv_rate_kbps=401.5,
-        sent_rate_kbps=120.25,
-        partners=(
+    fields = {
+        "time": 1234.5,
+        "peer_ip": 167772161,
+        "channel_id": 3,
+        "buffer_fill": 0.75,
+        "playback_position": 420,
+        "download_capacity_kbps": 2048.0,
+        "upload_capacity_kbps": 512.0,
+        "recv_rate_kbps": 401.5,
+        "sent_rate_kbps": 120.25,
+        "partners": (
             PartnerRecord(ip=11, port=20001, sent_segments=15, recv_segments=3),
             PartnerRecord(ip=22, port=20002, sent_segments=0, recv_segments=88),
         ),
-    )
+    }
     fields.update(overrides)
     return PeerReport(**fields)
 
