@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the whole pipeline:
+Five subcommands cover the whole pipeline:
 
 - ``simulate`` — run a UUSee deployment and write its Magellan trace;
-- ``analyze``  — regenerate any paper figure (or all) from a trace,
-  printing the series and optionally exporting CSV;
+- ``run``      — run a crash-safe campaign (segmented trace directory +
+  periodic checkpoints); ``--resume`` continues a killed campaign;
+- ``analyze``  — regenerate any paper figure (or all) from a trace file
+  or campaign directory, printing series and optionally exporting CSV;
 - ``info``     — summarise a trace (span, peers, reports, dynamics);
 - ``qa``       — determinism & correctness static analysis (the CI gate).
 """
@@ -28,7 +30,9 @@ from repro.core.report import (
     write_csv,
 )
 from repro.qa.cli import add_qa_arguments, run_qa
+from repro.simulator.checkpoint import CheckpointError
 from repro.simulator.protocol import SelectionPolicy
+from repro.traces.segments import SegmentedTraceReader
 from repro.traces.store import TolerantTraceReader, TraceReader
 
 FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8")
@@ -55,6 +59,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-flash-crowd",
         action="store_true",
         help="disable the day-5 flash crowd event",
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="crash-safe campaign: segmented trace + checkpoints (--resume)",
+    )
+    run.add_argument(
+        "--trace-dir", type=Path, required=True,
+        help="campaign directory (rotating trace segments + manifest)",
+    )
+    run.add_argument(
+        "--checkpoint-dir", type=Path,
+        help="checkpoint directory (default: <trace-dir>/checkpoints)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="restore the newest valid checkpoint, recover the trace "
+        "store and continue the campaign",
+    )
+    run.add_argument("--days", type=float, default=2.0)
+    run.add_argument("--base", type=float, default=500.0, help="base concurrency")
+    run.add_argument("--seed", type=int, default=2006)
+    run.add_argument(
+        "--policy",
+        choices=[p.value for p in SelectionPolicy],
+        default=SelectionPolicy.UUSEE.value,
+    )
+    run.add_argument(
+        "--no-flash-crowd", action="store_true",
+        help="disable the day-5 flash crowd event",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=36, metavar="ROUNDS",
+        help="checkpoint every N completed rounds (default 36 = 6 h)",
+    )
+    run.add_argument(
+        "--keep-last", type=int, default=3,
+        help="checkpoints retained in rotation",
+    )
+    run.add_argument(
+        "--segment-records", type=int, default=100_000,
+        help="records per trace segment before rotation",
+    )
+    run.add_argument(
+        "--compress", action="store_true", help="gzip trace segments"
+    )
+    run.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the trace on every flush (bounds power-cut loss)",
     )
 
     ana = sub.add_parser("analyze", help="regenerate paper figures from a trace")
@@ -103,6 +156,49 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(f"trace written to {args.out}")
     return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    verb = "resuming" if args.resume else "starting"
+    print(
+        f"{verb} campaign in {args.trace_dir}: {args.days} days at base "
+        f"concurrency {args.base:.0f} (seed {args.seed}, policy {args.policy}) ..."
+    )
+    try:
+        result = ex.run_campaign(
+            args.trace_dir,
+            days=args.days,
+            base_concurrency=args.base,
+            seed=args.seed,
+            with_flash_crowd=not args.no_flash_crowd,
+            policy=SelectionPolicy(args.policy),
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_rounds=args.checkpoint_every,
+            keep_last=args.keep_last,
+            resume=args.resume,
+            records_per_segment=args.segment_records,
+            compress=args.compress,
+            fsync_on_flush=args.fsync,
+        )
+    except (CheckpointError, FileExistsError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.resumed_from_round is not None:
+        print(f"resumed from checkpoint at round {result.resumed_from_round}")
+    print(
+        f"campaign complete: {result.rounds_completed} rounds, "
+        f"{result.trace_records} reports in {result.trace_dir}"
+    )
+    if result.health.dirty:
+        print(format_trace_health(result.health, title="campaign health"))
+    return 0
+
+
+def _open_trace(path: Path, *, tolerant: bool):
+    """A re-iterable reader for a trace file or campaign directory."""
+    if path.is_dir():
+        return SegmentedTraceReader(path, tolerant=tolerant)
+    return TolerantTraceReader(path) if tolerant else TraceReader(path)
 
 
 def _analyze_fig1(trace, csv_dir):
@@ -230,7 +326,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     if args.csv_dir:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
-    trace = TolerantTraceReader(args.trace) if args.tolerant else TraceReader(args.trace)
+    trace = _open_trace(args.trace, tolerant=args.tolerant)
     figures = FIGURES if args.figure == "all" else (args.figure,)
     for fig in figures:
         try:
@@ -247,7 +343,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     if not args.trace.exists():
         print(f"error: no such trace: {args.trace}", file=sys.stderr)
         return 2
-    trace = TolerantTraceReader(args.trace) if args.tolerant else TraceReader(args.trace)
+    trace = _open_trace(args.trace, tolerant=args.tolerant)
     count = 0
     first = last = None
     ips = set()
@@ -289,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "run":
+        return cmd_run(args)
     if args.command == "analyze":
         return cmd_analyze(args)
     if args.command == "info":

@@ -33,11 +33,14 @@ from repro.graph.degree import DegreeDistribution
 from repro.graph.smallworld import SmallWorldMetrics
 from repro.network.isp import IspDatabase, build_default_database
 from repro.simulator.channel import ChannelCatalogue
+from repro.simulator.checkpoint import CheckpointError, CheckpointManager, restore_into
 from repro.simulator.failures import FaultPlan
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.system import SystemConfig, UUSeeSystem
 from repro.traces.faults import ChannelFaults, FaultyChannel
+from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
+from repro.traces.segments import SegmentedTraceStore
 from repro.traces.store import JsonlTraceStore, iter_windows
 from repro.workloads.flashcrowd import FlashCrowdEvent
 
@@ -100,6 +103,112 @@ def run_simulation_to_trace(
         if sink is not store:
             sink.flush()
     return path
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a (possibly resumed) crash-safe measurement campaign."""
+
+    trace_dir: Path
+    rounds_completed: int
+    trace_records: int
+    resumed_from_round: int | None  # None when started fresh
+    health: TraceHealth  # recovery repairs + collection-side drops
+
+
+def run_campaign(
+    trace_dir: str | Path,
+    *,
+    days: float = 14.0,
+    base_concurrency: float = 1_000.0,
+    seed: int = 2006,
+    with_flash_crowd: bool = True,
+    policy: SelectionPolicy = SelectionPolicy.UUSEE,
+    protocol: ProtocolConfig | None = None,
+    catalogue: ChannelCatalogue | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every_rounds: int = 36,
+    keep_last: int = 3,
+    resume: bool = False,
+    records_per_segment: int = 100_000,
+    compress: bool = False,
+    fsync_on_flush: bool = False,
+) -> CampaignResult:
+    """Run a crash-safe campaign: segmented trace + periodic checkpoints.
+
+    The durable sibling of :func:`run_simulation_to_trace` for runs long
+    enough to be killed.  The trace goes to a
+    :class:`~repro.traces.segments.SegmentedTraceStore` under
+    ``trace_dir``; a checkpoint lands in ``checkpoint_dir`` (default
+    ``trace_dir/checkpoints``) every ``checkpoint_every_rounds``
+    completed rounds and once more at the end.
+
+    With ``resume=True`` the newest valid checkpoint is restored, the
+    segment store is crash-recovered and rolled back to the checkpoint's
+    durable record cut, and the simulation continues until the requested
+    ``days`` span — producing the same trace content, draw for draw, as
+    a run that was never interrupted.  Resuming without any valid
+    checkpoint raises :class:`~repro.simulator.checkpoint.CheckpointError`.
+    """
+    trace_dir = Path(trace_dir)
+    ckpt_dir = (
+        Path(checkpoint_dir) if checkpoint_dir is not None
+        else trace_dir / "checkpoints"
+    )
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base_concurrency,
+        flash_crowd=FlashCrowdEvent() if with_flash_crowd else None,
+        policy=policy,
+        protocol=protocol or ProtocolConfig(),
+        faults=faults,
+    )
+    manager = CheckpointManager(ckpt_dir, keep_last=keep_last)
+    resumed_from: int | None = None
+    if resume:
+        found = manager.latest_valid()
+        if found is None:
+            raise CheckpointError(
+                f"--resume: no valid checkpoint under {ckpt_dir}; "
+                "start without --resume to begin a fresh campaign"
+            )
+        _, state = found
+        store = SegmentedTraceStore.recover(
+            trace_dir, fsync_on_flush=fsync_on_flush
+        )
+        if state["trace_records"] is not None:
+            store.rollback(state["trace_records"])
+        system = UUSeeSystem(config, store, catalogue=catalogue)
+        restore_into(system, state)
+        resumed_from = system.rounds_completed
+    else:
+        store = SegmentedTraceStore(
+            trace_dir,
+            records_per_segment=records_per_segment,
+            compress=compress,
+            fsync_on_flush=fsync_on_flush,
+        )
+        system = UUSeeSystem(config, store, catalogue=catalogue)
+    remaining = days * SECONDS_PER_DAY - system.engine.now
+    if remaining > 1e-9:
+        system.run(
+            seconds=remaining,
+            checkpoint=manager,
+            checkpoint_every_rounds=checkpoint_every_rounds,
+        )
+    manager.save(system)  # final cut: a later --resume extends cleanly
+    store.close()
+    health = TraceHealth()
+    health.merge(store.health)
+    system.trace_server.fold_into(health)
+    return CampaignResult(
+        trace_dir=trace_dir,
+        rounds_completed=system.rounds_completed,
+        trace_records=len(store),
+        resumed_from_round=resumed_from,
+        health=health,
+    )
 
 
 # ------------------------------------------------------------------ Fig. 1

@@ -19,6 +19,16 @@ are not scripted.
 """
 
 from repro.simulator.engine import EventEngine, ScheduledEvent
+from repro.simulator.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    config_token,
+    load_checkpoint,
+    restore_into,
+    save_checkpoint,
+    snapshot_system,
+)
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.buffer import BufferMap
 from repro.simulator.channel import Channel, ChannelCatalogue, default_catalogue
@@ -39,6 +49,14 @@ from repro.simulator.system import SystemConfig, UUSeeSystem
 __all__ = [
     "EventEngine",
     "ScheduledEvent",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointManager",
+    "config_token",
+    "load_checkpoint",
+    "restore_into",
+    "save_checkpoint",
+    "snapshot_system",
     "ProtocolConfig",
     "SelectionPolicy",
     "BufferMap",

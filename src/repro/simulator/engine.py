@@ -102,6 +102,28 @@ class EventEngine:
             self.step()
         self._now = max(self._now, end_time)
 
+    def clock_state(self) -> tuple[float, int, int]:
+        """Snapshot ``(now, seq, processed)`` for checkpointing.
+
+        Only the clock is captured: a queue with live events cannot be
+        serialized (callbacks are bound methods into the object graph),
+        so checkpoint-capable callers must drain the queue first —
+        ``UUSeeSystem`` does, because its round loop schedules nothing.
+        Raises ``RuntimeError`` if live events are pending.
+        """
+        if self.pending:
+            raise RuntimeError(
+                f"cannot snapshot engine clock with {self.pending} pending "
+                "events; checkpoints require a drained queue"
+            )
+        return (self._now, self._seq, self._processed)
+
+    def restore_clock(self, state: tuple[float, int, int]) -> None:
+        """Restore a :meth:`clock_state` snapshot onto an empty engine."""
+        if self.pending:
+            raise RuntimeError("cannot restore clock over pending events")
+        self._now, self._seq, self._processed = state
+
     def run(self, *, max_events: int | None = None) -> int:
         """Run until the queue drains (or ``max_events``); returns count run."""
         ran = 0

@@ -306,9 +306,12 @@ class ExchangeEngine:
             elif link.est_kbps < cfg.min_useful_link_kbps:
                 peer.suppliers.discard(pid)
 
+        # Sorted so the float sum is identical regardless of set-table
+        # history (a checkpoint round-trip rebuilds the set and may
+        # change raw iteration order).
         expected = sum(
             self._expected_link_rate(peer.partners[pid], cap)
-            for pid in peer.suppliers
+            for pid in sorted(peer.suppliers)
             if pid in peer.partners
         )
         if expected >= demand or len(peer.suppliers) >= cfg.max_active_suppliers:

@@ -22,6 +22,7 @@ import heapq
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.network.bandwidth import BandwidthSampler
 from repro.network.ip import CidrBlock, IpAllocator
@@ -40,6 +41,9 @@ from repro.traces.store import TraceStore
 from repro.workloads.churn import SessionDurationModel
 from repro.workloads.flashcrowd import FlashCrowdEvent
 from repro.workloads.population import ArrivalProcess, PopulationModel
+
+if TYPE_CHECKING:
+    from repro.simulator.checkpoint import CheckpointManager
 
 #: Dedicated address space for UUSee's streaming servers; deliberately
 #: outside every ISP block so the mapping database reports them as
@@ -145,6 +149,9 @@ class UUSeeSystem:
         self.total_arrivals = 0
         self.total_departures = 0
         self.total_crashes = 0
+        #: Exchange rounds fully completed; names checkpoint files, so it
+        #: must advance only after the round's engine window has run.
+        self.rounds_completed = 0
         self._create_servers()
         # Drawn last so fault-free runs keep the exact random streams of
         # builds that predate fault injection.
@@ -181,16 +188,39 @@ class UUSeeSystem:
 
     # -- run loop ----------------------------------------------------------
 
-    def run(self, *, seconds: float | None = None, days: float | None = None) -> None:
-        """Advance the simulation by the given span (cumulative)."""
+    def run(
+        self,
+        *,
+        seconds: float | None = None,
+        days: float | None = None,
+        checkpoint: CheckpointManager | None = None,
+        checkpoint_every_rounds: int = 0,
+    ) -> None:
+        """Advance the simulation by the given span (cumulative).
+
+        With a ``checkpoint`` manager and ``checkpoint_every_rounds > 0``
+        the run persists a crash-recovery checkpoint after every N-th
+        completed round (trace store synced first, so the checkpoint
+        never references undurable trace data).
+        """
         if (seconds is None) == (days is None):
             raise ValueError("pass exactly one of seconds/days")
+        if checkpoint is not None and checkpoint_every_rounds < 1:
+            raise ValueError(
+                "checkpoint_every_rounds must be >= 1 when checkpointing"
+            )
         span = seconds if seconds is not None else days * 86_400.0
         end = self.engine.now + span
         dt = self.config.protocol.round_seconds
         while self.engine.now < end - 1e-9:
             self._round(dt)
             self.engine.run_until(self.engine.now + dt)
+            self.rounds_completed += 1
+            if (
+                checkpoint is not None
+                and self.rounds_completed % checkpoint_every_rounds == 0
+            ):
+                checkpoint.save(self)
 
     def _round(self, dt: float) -> None:
         now = self.engine.now

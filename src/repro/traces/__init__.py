@@ -21,12 +21,19 @@ from repro.traces.health import TraceHealth
 from repro.traces.reporter import build_report, port_for_peer
 from repro.traces.server import TraceServer
 from repro.traces.faults import ChannelCounters, ChannelFaults, FaultyChannel
+from repro.traces.segments import (
+    SegmentedTraceReader,
+    SegmentedTraceStore,
+    SegmentInfo,
+    SegmentRecoveryError,
+)
 from repro.traces.store import (
     InMemoryTraceStore,
     JsonlTraceStore,
     TolerantTraceReader,
     TraceFormatError,
     TraceReader,
+    TraceStoreClosedError,
     TraceTruncatedError,
     iter_windows,
     sanitize,
@@ -45,9 +52,14 @@ __all__ = [
     "FaultyChannel",
     "InMemoryTraceStore",
     "JsonlTraceStore",
+    "SegmentInfo",
+    "SegmentRecoveryError",
+    "SegmentedTraceReader",
+    "SegmentedTraceStore",
     "TolerantTraceReader",
     "TraceFormatError",
     "TraceReader",
+    "TraceStoreClosedError",
     "TraceTruncatedError",
     "iter_windows",
     "sanitize",

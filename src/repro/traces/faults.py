@@ -174,5 +174,5 @@ class FaultyChannel:
     def __enter__(self) -> FaultyChannel:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

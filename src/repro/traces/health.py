@@ -26,7 +26,11 @@ class TraceHealth:
     reordered: int = 0  # records that arrived behind a later timestamp
     max_reorder_depth_s: float = 0.0  # worst observed timestamp regression
     quarantined: int = 0  # records dropped as unusable (invalid fields,
-    #   or too late to place into an already-emitted window)
+    #   too late to place into an already-emitted window, or inside an
+    #   unreadable segment)
+    server_dropped: int = 0  # reports lost on the collection path before
+    #   the store (the trace server's UDP drop counter), so end-to-end
+    #   loss accounting lives in one report
 
     @property
     def dirty(self) -> bool:
@@ -37,6 +41,7 @@ class TraceHealth:
             or self.duplicates
             or self.reordered
             or self.quarantined
+            or self.server_dropped
         )
 
     def reset(self) -> None:
@@ -56,6 +61,7 @@ class TraceHealth:
             self.max_reorder_depth_s, other.max_reorder_depth_s
         )
         self.quarantined += other.quarantined
+        self.server_dropped += other.server_dropped
 
     def rows(self) -> list[tuple[str, object]]:
         """(label, value) rows for table rendering."""
@@ -68,4 +74,5 @@ class TraceHealth:
             ("reordered records", self.reordered),
             ("max reorder depth (s)", round(self.max_reorder_depth_s, 1)),
             ("quarantined records", self.quarantined),
+            ("server drops (collection)", self.server_dropped),
         ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 
+from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
 from repro.traces.store import TraceStore
 
@@ -36,3 +37,13 @@ class TraceServer:
         self.store.append(report)
         self.received += 1
         return True
+
+    def fold_into(self, health: TraceHealth) -> TraceHealth:
+        """Add this server's collection-side drops to ``health``.
+
+        Storage-level accounting (tolerant readers, segment recovery)
+        and collection-level loss then live in one report instead of the
+        drop counter dying unread with the server object.
+        """
+        health.server_dropped += self.dropped
+        return health

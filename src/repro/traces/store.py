@@ -20,10 +20,12 @@ from __future__ import annotations
 import gzip
 import heapq
 import io
+import os
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from collections.abc import Iterable, Iterator
-from typing import Protocol
+from typing import Protocol, cast
 
 from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
@@ -41,6 +43,20 @@ class TraceFormatError(ValueError):
 
 class TraceTruncatedError(TraceFormatError):
     """The final trace line is an incomplete write (killed collector)."""
+
+
+class TraceStoreClosedError(RuntimeError):
+    """An append was attempted on a store that has been closed.
+
+    Replaces the opaque ``ValueError: I/O operation on closed file`` a
+    raw file handle would raise, naming the store and the fix.
+    """
+
+
+#: Exceptions a torn or damaged gzip stream raises while being read;
+#: ``EOFError`` is the torn-tail signature (killed collector), the other
+#: two appear when compressed bytes themselves are damaged.
+_GZIP_DAMAGE = (EOFError, gzip.BadGzipFile, zlib.error)
 
 
 class InMemoryTraceStore:
@@ -72,8 +88,11 @@ class JsonlTraceStore:
     an existing path), ``"overwrite"`` or ``"append"``.  The stream is
     flushed every ``flush_every`` records so a crashed run leaves a
     readable prefix (plus at most one truncated line, which tolerant
-    readers skip).  Use as a context manager, or call :meth:`close`
-    explicitly before reading the file back.
+    readers skip); ``fsync_on_flush=True`` additionally fsyncs at each
+    flush, which the campaign durability layer uses to bound how much a
+    power cut can lose.  Use as a context manager, or call :meth:`close`
+    explicitly before reading the file back.  Appending after close
+    raises :class:`TraceStoreClosedError`.
     """
 
     def __init__(
@@ -83,6 +102,7 @@ class JsonlTraceStore:
         compress: bool | None = None,
         mode: str = "create",
         flush_every: int = 256,
+        fsync_on_flush: bool = False,
     ) -> None:
         if mode not in _STORE_MODES:
             raise ValueError(
@@ -96,14 +116,15 @@ class JsonlTraceStore:
         self.compress = compress
         self.mode = mode
         self.flush_every = flush_every
+        self.fsync_on_flush = fsync_on_flush
         self._count = 0
         open_mode = _STORE_MODES[mode] + "t"
         if compress:
-            self._fh: io.TextIOBase = gzip.open(
-                self.path, open_mode, compresslevel=4
+            self._fh = cast(
+                io.TextIOBase, gzip.open(self.path, open_mode, compresslevel=4)
             )
         else:
-            self._fh = open(self.path, open_mode)
+            self._fh = cast(io.TextIOBase, open(self.path, open_mode))
 
     def append(self, report: PeerReport) -> None:
         """Write one report as a JSON line."""
@@ -111,12 +132,23 @@ class JsonlTraceStore:
 
     def append_line(self, line: str) -> None:
         """Write one raw line (fault injection writes damaged lines here)."""
+        if self._fh.closed:
+            raise TraceStoreClosedError(
+                f"cannot append to closed trace store {self.path}; "
+                "append before close(), or reopen with mode='append'"
+            )
         self._fh.write(line)
         if not line.endswith("\n"):
             self._fh.write("\n")
         self._count += 1
         if self._count % self.flush_every == 0:
-            self._fh.flush()
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (and to disk when fsyncing)."""
+        self._fh.flush()
+        if self.fsync_on_flush:
+            os.fsync(self._fh.fileno())
 
     def __len__(self) -> int:
         return self._count
@@ -127,9 +159,11 @@ class JsonlTraceStore:
             self._fh.close()
 
     def __enter__(self) -> JsonlTraceStore:
+        """Enter a ``with`` block; the store closes on exit."""
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the store when the ``with`` block ends."""
         self.close()
 
 
@@ -157,15 +191,43 @@ class TraceReader:
 
     def _open(self) -> io.TextIOBase:
         if self.path.suffix == ".gz":
-            return gzip.open(self.path, "rt")
-        return open(self.path)
+            return cast(io.TextIOBase, gzip.open(self.path, "rt"))
+        return cast(io.TextIOBase, open(self.path))
+
+    def _lines(self, fh: io.TextIOBase) -> Iterator[tuple[int, str]]:
+        """Yield ``(lineno, raw_line)``, absorbing a torn gzip tail.
+
+        A gzip stream cut off mid-write raises ``EOFError`` (not a bad
+        JSON line) the moment iteration crosses the damage; damaged
+        compressed bytes raise ``BadGzipFile``/``zlib.error``.  Tolerant
+        mode counts the damage as a truncation and ends the stream —
+        everything before the tear was already yielded; strict mode
+        raises :class:`TraceTruncatedError`.
+        """
+        lineno = 0
+        while True:
+            try:
+                raw = next(fh)
+            except StopIteration:
+                return
+            except _GZIP_DAMAGE as exc:
+                if self.tolerant:
+                    self.health.truncated_lines += 1
+                    return
+                raise TraceTruncatedError(
+                    f"{self.path}: compressed stream damaged after line "
+                    f"{lineno} (collector killed mid-write?); re-read with "
+                    "tolerant=True to keep the intact prefix"
+                ) from exc
+            lineno += 1
+            yield lineno, raw
 
     def __iter__(self) -> Iterator[PeerReport]:
         health = self.health
         health.reset()
         seen: OrderedDict[tuple[float, int], None] = OrderedDict()
         with self._open() as fh:
-            for lineno, raw in enumerate(fh, 1):
+            for lineno, raw in self._lines(fh):
                 line = raw.strip()
                 if not line:
                     continue

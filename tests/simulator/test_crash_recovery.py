@@ -1,0 +1,292 @@
+"""Kill/recover harness: checkpointed campaigns survive crashes.
+
+Each scenario interrupts a seeded run at an adversarial instant —
+between checkpoints, mid-checkpoint (torn newest file), mid-segment
+rotation (stale manifest), mid-line (torn trace tail) — resumes it, and
+asserts the result is indistinguishable from an uninterrupted twin:
+identical trace content (sha256) and, where the harness audits RNGs,
+identical draw sequences.
+
+Kills are simulated deterministically in-process: the run is abandoned
+without ``close()`` (so nothing is sealed or finalized) and the chosen
+crash damage is inflicted on the files directly.  A flush boundary is
+the kill point — what a real SIGKILL leaves when it lands between
+flushes; torn-write scenarios add the partial bytes explicitly.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.experiments import run_campaign
+from repro.qa import DrawAudit, assert_identical_draws
+from repro.simulator import (
+    CheckpointError,
+    CheckpointManager,
+    SystemConfig,
+    UUSeeSystem,
+    load_checkpoint,
+    restore_into,
+)
+from repro.traces import SegmentedTraceReader, SegmentedTraceStore
+
+SEED = 2006
+BASE = 60.0
+ROUND = 600.0  # ProtocolConfig default round_seconds
+TOTAL_ROUNDS = 18
+SEGMENT_RECORDS = 40
+
+
+def make_config() -> SystemConfig:
+    return SystemConfig(seed=SEED, base_concurrency=BASE, flash_crowd=None)
+
+
+def fresh_system(trace_dir):
+    store = SegmentedTraceStore(trace_dir, records_per_segment=SEGMENT_RECORDS)
+    return UUSeeSystem(make_config(), store), store
+
+
+def run_uninterrupted(trace_dir, *, rounds=TOTAL_ROUNDS):
+    system, store = fresh_system(trace_dir)
+    system.run(seconds=rounds * ROUND)
+    store.close()
+    return system, store
+
+
+def run_until_killed(trace_dir, ckpt_dir, *, kill_after, every=3):
+    """Run with checkpoints, then 'die': flush and abandon, no close."""
+    system, store = fresh_system(trace_dir)
+    manager = CheckpointManager(ckpt_dir)
+    system.run(
+        seconds=kill_after * ROUND,
+        checkpoint=manager,
+        checkpoint_every_rounds=every,
+    )
+    store.flush()  # the kill lands just past a flush boundary
+    return system, store, manager
+
+
+def resume_and_finish(trace_dir, ckpt_dir, *, rounds=TOTAL_ROUNDS):
+    manager = CheckpointManager(ckpt_dir)
+    found = manager.latest_valid()
+    assert found is not None, "no valid checkpoint to resume from"
+    _, state = found
+    store = SegmentedTraceStore.recover(trace_dir)
+    store.rollback(state["trace_records"])
+    system = UUSeeSystem(make_config(), store)
+    restore_into(system, state)
+    remaining = rounds - system.rounds_completed
+    if remaining > 0:
+        system.run(seconds=remaining * ROUND)
+    store.close()
+    return system, store
+
+
+def content_sha(trace_dir) -> str:
+    recovered = SegmentedTraceStore.recover(trace_dir)
+    try:
+        return recovered.content_sha256()
+    finally:
+        recovered.close()
+
+
+def per_file_shas(trace_dir) -> dict[str, str]:
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in trace_dir.iterdir()
+        if p.suffix == ".jsonl"
+    }
+
+
+class TestKillBetweenCheckpoints:
+    def test_resume_matches_uninterrupted_twin_bytewise(self, tmp_path):
+        twin_a, twin_b = tmp_path / "a", tmp_path / "b"
+        a_system, _ = run_uninterrupted(twin_a)
+        # Kill at round 11 with checkpoints every 3: resume restarts at
+        # round 9 and must replay rounds 10-11 identically.
+        run_until_killed(twin_b, tmp_path / "ckpt", kill_after=11)
+        b_system, _ = resume_and_finish(twin_b, tmp_path / "ckpt")
+        assert b_system.rounds_completed == TOTAL_ROUNDS
+        assert a_system.total_arrivals == b_system.total_arrivals
+        assert a_system._rng.getstate() == b_system._rng.getstate()
+        assert a_system.exchange.rng.getstate() == b_system.exchange.rng.getstate()
+        # Plain JSONL: not just equivalent content — identical files.
+        assert per_file_shas(twin_a) == per_file_shas(twin_b)
+
+    def test_continuation_is_draw_identical(self, tmp_path):
+        # Twin A runs 9 rounds inline, then its continuation is audited;
+        # twin B is killed at round 9 (a checkpoint boundary), resumed,
+        # and its continuation must consume the very same draw sequence.
+        twin_a, twin_b = tmp_path / "a", tmp_path / "b"
+        a_system, a_store = fresh_system(twin_a)
+        a_system.run(seconds=9 * ROUND)
+        with DrawAudit() as audit_a:
+            a_system.run(seconds=(TOTAL_ROUNDS - 9) * ROUND)
+        a_store.close()
+
+        run_until_killed(twin_b, tmp_path / "ckpt", kill_after=9, every=3)
+        manager = CheckpointManager(tmp_path / "ckpt")
+        _, state = manager.latest_valid()
+        store = SegmentedTraceStore.recover(twin_b)
+        store.rollback(state["trace_records"])
+        b_system = UUSeeSystem(make_config(), store)
+        restore_into(b_system, state)
+        with DrawAudit() as audit_b:
+            b_system.run(seconds=(TOTAL_ROUNDS - 9) * ROUND)
+        store.close()
+
+        assert audit_a.snapshot() == audit_b.snapshot()
+        assert content_sha(twin_a) == content_sha(twin_b)
+
+
+class TestKillMidCheckpoint:
+    def test_torn_newest_checkpoint_falls_back_and_still_matches(self, tmp_path):
+        twin_a, twin_b = tmp_path / "a", tmp_path / "b"
+        run_uninterrupted(twin_a)
+        _, _, manager = run_until_killed(
+            twin_b, tmp_path / "ckpt", kill_after=12, every=3
+        )
+        newest = manager.checkpoints()[-1]
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 3])  # torn mid-write
+        resumed = CheckpointManager(tmp_path / "ckpt").latest_valid()
+        assert resumed is not None
+        path, state = resumed
+        assert path != newest, "fallback should skip the torn file"
+        assert state["rounds_completed"] == 9
+        resume_and_finish(twin_b, tmp_path / "ckpt")
+        assert content_sha(twin_a) == content_sha(twin_b)
+
+    def test_all_checkpoints_torn_is_a_loud_failure(self, tmp_path):
+        _, _, manager = run_until_killed(
+            tmp_path / "b", tmp_path / "ckpt", kill_after=6, every=3
+        )
+        for path in manager.checkpoints():
+            path.write_bytes(b"REPROCKPT garbage")
+        assert CheckpointManager(tmp_path / "ckpt").latest_valid() is None
+
+
+class TestKillMidRotation:
+    def test_stale_manifest_with_full_unsealed_segment(self, tmp_path):
+        twin_a, twin_b = tmp_path / "a", tmp_path / "b"
+        run_uninterrupted(twin_a)
+        _, store, _ = run_until_killed(twin_b, tmp_path / "ckpt", kill_after=11)
+        # Regress the manifest to before the last sealing, as if the
+        # crash struck after the segment filled but before the manifest
+        # rename landed.
+        assert store.sealed_segments, "scenario needs at least one sealed segment"
+        import json
+
+        manifest = json.loads((twin_b / "manifest.json").read_text())
+        manifest["segments"] = manifest["segments"][:-1]
+        (twin_b / "manifest.json").write_text(json.dumps(manifest))
+        resume_and_finish(twin_b, tmp_path / "ckpt")
+        assert content_sha(twin_a) == content_sha(twin_b)
+
+
+class TestKillMidLine:
+    def test_torn_trace_tail_is_truncated_and_replayed(self, tmp_path):
+        twin_a, twin_b = tmp_path / "a", tmp_path / "b"
+        run_uninterrupted(twin_a)
+        _, store, _ = run_until_killed(twin_b, tmp_path / "ckpt", kill_after=11)
+        active = twin_b / f"seg-{store._active_index:08d}.jsonl"
+        with open(active, "ab") as fh:
+            fh.write(b'{"time": 1e9, "peer_ip":')  # half a record
+        resume_and_finish(twin_b, tmp_path / "ckpt")
+        assert content_sha(twin_a) == content_sha(twin_b)
+
+
+class TestResumeDeterminism:
+    def test_resuming_twice_consumes_identical_draws(self, tmp_path):
+        import shutil
+
+        run_until_killed(tmp_path / "b", tmp_path / "ckpt", kill_after=10)
+        counter = [0]
+
+        def resume_copy() -> str:
+            counter[0] += 1
+            trace = tmp_path / f"copy{counter[0]}"
+            ckpt = tmp_path / f"copyckpt{counter[0]}"
+            shutil.copytree(tmp_path / "b", trace)
+            shutil.copytree(tmp_path / "ckpt", ckpt)
+            resume_and_finish(trace, ckpt)
+            return content_sha(trace)
+
+        outcomes = assert_identical_draws(resume_copy)
+        assert len({digest for digest, _ in outcomes}) == 1
+
+
+class TestRunCampaign:
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            run_campaign(tmp_path / "t", days=0.01, resume=True)
+
+    def test_campaign_resume_extends_to_twin_equivalence(self, tmp_path):
+        kwargs = dict(
+            base_concurrency=BASE,
+            seed=SEED,
+            with_flash_crowd=False,
+            checkpoint_every_rounds=3,
+            records_per_segment=SEGMENT_RECORDS,
+        )
+        days = TOTAL_ROUNDS * ROUND / 86_400.0
+        twin = run_campaign(tmp_path / "a", days=days, **kwargs)
+
+        # Interrupted campaign: drive the same components manually,
+        # abandon mid-run, then hand the wreckage to --resume.
+        run_until_killed(tmp_path / "b", tmp_path / "b" / "checkpoints",
+                         kill_after=11)
+        resumed = run_campaign(
+            tmp_path / "b", days=days, resume=True, **kwargs
+        )
+        assert resumed.resumed_from_round == 9
+        assert resumed.rounds_completed == twin.rounds_completed
+        assert resumed.trace_records == twin.trace_records
+        assert content_sha(tmp_path / "a") == content_sha(tmp_path / "b")
+
+    def test_checkpoint_config_mismatch_fails_loudly(self, tmp_path):
+        run_until_killed(tmp_path / "b", tmp_path / "ckpt", kill_after=6)
+        manager = CheckpointManager(tmp_path / "ckpt")
+        _, state = manager.latest_valid()
+        store = SegmentedTraceStore.recover(tmp_path / "b")
+        other = UUSeeSystem(
+            SystemConfig(seed=SEED + 1, base_concurrency=BASE, flash_crowd=None),
+            store,
+        )
+        with pytest.raises(CheckpointError, match="different configuration"):
+            restore_into(other, state)
+        store.close()
+
+
+class TestCheckpointEnvelope:
+    def test_rotation_keeps_last_k(self, tmp_path):
+        _, _, manager = run_until_killed(
+            tmp_path / "b", tmp_path / "ckpt", kill_after=15, every=3
+        )
+        names = [p.name for p in manager.checkpoints()]
+        assert names == [
+            "ckpt-0000000009.bin",
+            "ckpt-0000000012.bin",
+            "ckpt-0000000015.bin",
+        ]
+
+    def test_envelope_validates_checksum_and_length(self, tmp_path):
+        from repro.simulator.checkpoint import (
+            CheckpointCorruptError,
+            save_checkpoint,
+        )
+
+        path = tmp_path / "ckpt.bin"
+        save_checkpoint(path, {"config_token": "x", "clock": (0.0, 0, 0)})
+        assert load_checkpoint(path)["config_token"] == "x"
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_checkpoint(path)
+        path.write_bytes(bytes(blob[:-4]))
+        with pytest.raises(CheckpointCorruptError, match="torn"):
+            load_checkpoint(path)
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)

@@ -50,6 +50,64 @@ class TestParser:
         args = parser.parse_args(["simulate", "--out", "t", "--policy", "tree"])
         assert args.policy == "tree"
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--trace-dir", "d"])
+        assert not args.resume
+        assert args.checkpoint_every == 36
+        assert args.keep_last == 3
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        """A short campaign run through the CLI, then resumed to extend."""
+        d = tmp_path_factory.mktemp("campaign") / "trace"
+        argv = [
+            "run", "--trace-dir", str(d), "--days", "0.1", "--base", "60",
+            "--seed", "5", "--no-flash-crowd", "--checkpoint-every", "4",
+            "--segment-records", "50",
+        ]
+        assert main(argv) == 0
+        return d
+
+    def test_campaign_layout(self, campaign_dir):
+        assert (campaign_dir / "manifest.json").exists()
+        assert list(campaign_dir.glob("seg-*.jsonl"))
+        assert list((campaign_dir / "checkpoints").glob("ckpt-*.bin"))
+
+    def test_resume_extends_campaign(self, campaign_dir, capsys):
+        argv = [
+            "run", "--trace-dir", str(campaign_dir), "--resume",
+            "--days", "0.15", "--base", "60", "--seed", "5",
+            "--no-flash-crowd", "--checkpoint-every", "4",
+            "--segment-records", "50",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at round" in out
+        assert "campaign complete" in out
+
+    def test_resume_without_checkpoints_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["run", "--trace-dir", str(tmp_path / "void"), "--resume"])
+        assert rc == 2
+        assert "no valid checkpoint" in capsys.readouterr().err
+
+    def test_fresh_run_refuses_existing_campaign(self, campaign_dir, capsys):
+        rc = main(["run", "--trace-dir", str(campaign_dir), "--days", "0.1"])
+        assert rc == 2
+        assert "already holds a segmented trace" in capsys.readouterr().err
+
+    def test_analyze_and_info_read_campaign_directory(
+        self, campaign_dir, capsys
+    ):
+        assert main(["info", "--trace", str(campaign_dir)]) == 0
+        assert "reports" in capsys.readouterr().out
+        rc = main(
+            ["analyze", "--trace", str(campaign_dir), "--figure", "fig1"]
+        )
+        assert rc == 0
+        assert "Fig. 1(A)" in capsys.readouterr().out
+
 
 class TestSimulate:
     def test_trace_created(self, cli_trace):

@@ -163,6 +163,40 @@ class TestTruncatedFinalLine:
         assert reader.health.dirty
 
 
+class TestTruncatedGzipTail:
+    """A collector killed mid-write leaves a gzip stream without its
+    end-of-stream marker; the stdlib raises ``EOFError`` mid-iteration,
+    which must surface as a counted truncation, not a crash."""
+
+    def _write_torn_gzip(self, path, n=200):
+        import os
+
+        with JsonlTraceStore(path, flush_every=10) as store:
+            for i in range(n):
+                store.append(report_at(float(i), ip=i + 1))
+        # Cut into the final deflate block: the stream now ends before
+        # its end-of-stream marker, exactly what a kill mid-write leaves.
+        os.truncate(path, path.stat().st_size - 30)
+
+    def test_tolerant_counts_truncation_and_keeps_prefix(self, tmp_path):
+        path = tmp_path / "torn.jsonl.gz"
+        self._write_torn_gzip(path)
+        reader = TraceReader(path, tolerant=True)
+        reports = list(reader)
+        # Everything the damaged stream can still decode survives.
+        assert len(reports) > 150
+        assert [r.time for r in reports] == [float(i) for i in range(len(reports))]
+        assert reader.health.truncated_lines == 1
+        assert reader.health.parse_failures == 0
+
+    def test_strict_raises_truncated_error(self, tmp_path):
+        path = tmp_path / "torn.jsonl.gz"
+        self._write_torn_gzip(path)
+        with pytest.raises(TraceTruncatedError) as err:
+            list(TraceReader(path))
+        assert "tolerant=True" in str(err.value)
+
+
 class TestTolerantReader:
     def test_duplicates_dropped_exactly(self, tmp_path):
         path = tmp_path / "dup.jsonl"

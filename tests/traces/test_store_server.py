@@ -7,8 +7,10 @@ from repro.traces import (
     JsonlTraceStore,
     PartnerRecord,
     PeerReport,
+    TraceHealth,
     TraceReader,
     TraceServer,
+    TraceStoreClosedError,
     iter_windows,
 )
 
@@ -65,6 +67,23 @@ class TestJsonlStore:
         store.close()
         store.close()
 
+    def test_append_after_close_raises_named_error(self, tmp_path):
+        store = JsonlTraceStore(tmp_path / "t.jsonl")
+        store.close()
+        with pytest.raises(TraceStoreClosedError) as err:
+            store.append(report_at(1.0))
+        assert "t.jsonl" in str(err.value)
+        assert "append" in str(err.value)
+
+    def test_fsync_on_flush_writes_through(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        store = JsonlTraceStore(path, flush_every=1, fsync_on_flush=True)
+        store.append(report_at(1.0))
+        # Durable at the flush boundary: visible to a second reader
+        # before close().
+        assert len(list(TraceReader(path))) == 1
+        store.close()
+
 
 class TestTraceServer:
     def test_no_loss(self):
@@ -85,6 +104,18 @@ class TestTraceServer:
     def test_invalid_loss_rate(self):
         with pytest.raises(ValueError):
             TraceServer(InMemoryTraceStore(), loss_rate=1.0)
+
+    def test_fold_into_adds_collection_drops_to_health(self):
+        store = InMemoryTraceStore()
+        server = TraceServer(store, loss_rate=0.5, seed=1)
+        for i in range(100):
+            server.receive(report_at(float(i)))
+        health = TraceHealth()
+        health.server_dropped = 3  # pre-existing drops accumulate
+        assert server.fold_into(health) is health
+        assert health.server_dropped == server.dropped + 3
+        assert health.dirty
+        assert ("server drops (collection)", health.server_dropped) in health.rows()
 
 
 class TestIterWindows:
