@@ -109,3 +109,65 @@ def show(title: str, headers, rows) -> None:
 
     print()
     print(format_table(headers, rows, title=f"== {title} =="))
+
+
+# --------------------------------------------------------- bench report
+#
+# Every benchmark run leaves a machine-readable BENCH_report.json at the
+# repo root (uploaded as a CI artifact): call-phase wall time per test,
+# plus pytest-benchmark timing stats where the `benchmark` fixture was
+# used.  Local runs overwrite it; the file is gitignored.
+
+REPORT_PATH = Path(
+    os.environ.get("REPRO_BENCH_REPORT", Path(__file__).parent.parent / "BENCH_report.json")
+)
+
+_call_reports: dict[str, dict[str, object]] = {}
+
+
+def pytest_runtest_logreport(report) -> None:
+    if report.when != "call" or not report.nodeid.startswith("benchmarks/"):
+        return
+    _call_reports[report.nodeid] = {
+        "nodeid": report.nodeid,
+        "outcome": report.outcome,
+        "wall_s": round(report.duration, 6),
+    }
+
+
+def _benchmark_stats(config) -> dict[str, dict[str, object]]:
+    """Timing stats per test from pytest-benchmark, read defensively."""
+    session = getattr(config, "_benchmarksession", None)
+    out: dict[str, dict[str, object]] = {}
+    for bench in getattr(session, "benchmarks", None) or ():
+        stats = getattr(bench, "stats", None)
+        mean = getattr(stats, "mean", None)
+        if mean is None:
+            continue
+        out[getattr(bench, "fullname", getattr(bench, "name", "?"))] = {
+            "mean_s": round(mean, 6),
+            "stddev_s": round(getattr(stats, "stddev", 0.0), 6),
+            "rounds": getattr(stats, "rounds", None),
+            "ops_per_s": round(1.0 / mean, 3) if mean > 0 else None,
+        }
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _call_reports:
+        return
+    import json
+
+    stats = _benchmark_stats(session.config)
+    rows = []
+    for nodeid, row in sorted(_call_reports.items()):
+        bench = stats.get(nodeid)
+        if bench is not None:
+            row = {**row, **bench}
+        rows.append(row)
+    payload = {
+        "config": {"days": BENCH_DAYS, "base": BENCH_BASE, "seed": BENCH_SEED},
+        "exitstatus": int(exitstatus),
+        "benchmarks": rows,
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

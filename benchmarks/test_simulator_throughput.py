@@ -6,13 +6,14 @@ cost.  Reported as rounds (of 600 simulated seconds at ~300 concurrent
 peers) per benchmark iteration.
 """
 
+from repro.obs import NULL_OBSERVER, Observer
 from repro.simulator import SystemConfig, UUSeeSystem
 from repro.traces import InMemoryTraceStore
 
 
-def _build_warm_system() -> UUSeeSystem:
+def _build_warm_system(obs=NULL_OBSERVER) -> UUSeeSystem:
     config = SystemConfig(seed=99, base_concurrency=300.0, flash_crowd=None)
-    system = UUSeeSystem(config, InMemoryTraceStore())
+    system = UUSeeSystem(config, InMemoryTraceStore(), obs=obs)
     system.run(seconds=2 * 3600)  # warm up membership
     return system
 
@@ -26,6 +27,24 @@ def test_simulation_round_throughput(benchmark):
 
     peers = benchmark.pedantic(advance_ten_rounds, rounds=3, iterations=1)
     assert peers > 100  # the system is alive and populated
+
+
+def test_simulation_round_throughput_observed(benchmark):
+    """Same workload with a live observer: the <5% overhead budget.
+
+    Kept next to the plain variant so BENCH_report.json always carries
+    the obs-on/obs-off pair; DESIGN.md §7 documents the budget.
+    """
+    obs = Observer()  # registry + spans, no event sink
+    system = _build_warm_system(obs)
+
+    def advance_ten_rounds():
+        system.run(seconds=10 * 600)
+        return system.concurrent_peers()
+
+    peers = benchmark.pedantic(advance_ten_rounds, rounds=3, iterations=1)
+    assert peers > 100
+    assert obs.registry.counter("sim.rounds").value > 0
 
 
 def test_snapshot_analytics_throughput(benchmark):

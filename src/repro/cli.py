@@ -1,19 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the whole pipeline:
+Six subcommands cover the whole pipeline:
 
 - ``simulate`` — run a UUSee deployment and write its Magellan trace;
 - ``run``      — run a crash-safe campaign (segmented trace directory +
-  periodic checkpoints); ``--resume`` continues a killed campaign;
+  periodic checkpoints); ``--resume`` continues a killed campaign and
+  ``--obs-dir`` records live metrics/spans while it runs;
 - ``analyze``  — regenerate any paper figure (or all) from a trace file
-  or campaign directory, printing series and optionally exporting CSV;
+  or campaign directory, printing series (or ``--json``) and optionally
+  exporting CSV;
 - ``info``     — summarise a trace (span, peers, reports, dynamics);
+- ``obs``      — observability utilities (``obs summarize <dir>``);
 - ``qa``       — determinism & correctness static analysis (the CI gate).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import dataclasses
+import io
+import json
 import sys
 from pathlib import Path
 
@@ -29,6 +36,8 @@ from repro.core.report import (
     format_trace_health,
     write_csv,
 )
+from repro.obs.exporters import create_observer, finalize_observer
+from repro.obs.summarize import render_summary
 from repro.qa.cli import add_qa_arguments, run_qa
 from repro.simulator.checkpoint import CheckpointError
 from repro.simulator.protocol import SelectionPolicy
@@ -109,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", action="store_true",
         help="fsync the trace on every flush (bounds power-cut loss)",
     )
+    run.add_argument(
+        "--obs-dir", type=Path,
+        help="record observability data (metrics + spans) into this "
+        "directory; inspect it with `repro obs summarize`",
+    )
 
     ana = sub.add_parser("analyze", help="regenerate paper figures from a trace")
     ana.add_argument("--trace", type=Path, required=True)
@@ -125,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="read a dirty trace (skip/dedup/re-sort bad records) and "
         "print a trace-health summary",
     )
+    ana.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of formatted tables",
+    )
+    ana.add_argument(
+        "--obs-dir", type=Path,
+        help="record per-metric analytics timings into this directory",
+    )
 
     info = sub.add_parser("info", help="summarise a trace file")
     info.add_argument("--trace", type=Path, required=True)
@@ -133,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read a dirty trace and print a trace-health summary",
     )
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_sum = obs_sub.add_parser(
+        "summarize",
+        help="render span timings and counters from an --obs-dir",
+    )
+    obs_sum.add_argument("obs_dir", type=Path, help="directory passed as --obs-dir")
 
     qa = sub.add_parser(
         "qa", help="determinism & correctness static analysis (REP rules)"
@@ -164,6 +195,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{verb} campaign in {args.trace_dir}: {args.days} days at base "
         f"concurrency {args.base:.0f} (seed {args.seed}, policy {args.policy}) ..."
     )
+    obs = create_observer(args.obs_dir)
     try:
         result = ex.run_campaign(
             args.trace_dir,
@@ -179,10 +211,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             records_per_segment=args.segment_records,
             compress=args.compress,
             fsync_on_flush=args.fsync,
+            obs=obs,
         )
     except (CheckpointError, FileExistsError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Flush metrics even when the campaign errors out: a partial
+        # event log is exactly what post-mortems need.
+        if args.obs_dir is not None:
+            finalize_observer(obs, args.obs_dir)
     if result.resumed_from_round is not None:
         print(f"resumed from checkpoint at round {result.resumed_from_round}")
     print(
@@ -191,6 +229,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if result.health.dirty:
         print(format_trace_health(result.health, title="campaign health"))
+    if args.obs_dir is not None:
+        print(
+            f"observability data in {args.obs_dir} "
+            f"(inspect with: repro obs summarize {args.obs_dir})"
+        )
     return 0
 
 
@@ -201,28 +244,36 @@ def _open_trace(path: Path, *, tolerant: bool):
     return TolerantTraceReader(path) if tolerant else TraceReader(path)
 
 
-def _analyze_fig1(trace, csv_dir):
-    result = ex.fig1_scale(trace)
+def _analyze_fig1(trace, csv_dir, obs):
+    result = ex.fig1_scale(trace, obs=obs)
     print(format_series(result.series, ["total", "stable"], title="Fig. 1(A) simultaneous peers"))
     print()
     print(format_table(["day", "total IPs", "stable IPs"], result.daily, title="Fig. 1(B) daily distinct IPs"))
     print(f"\nstable/total ratio: {result.stable_ratio():.3f} (paper: ~1/3)")
     if csv_dir:
-        rows = zip(result.series.times, result.series.column("total"), result.series.column("stable"))
+        rows = zip(result.series.times, result.series.values.get("total", ()), result.series.values.get("stable", ()))
         write_csv(csv_dir / "fig1a.csv", ["t", "total", "stable"], rows)
         write_csv(csv_dir / "fig1b.csv", ["day", "total", "stable"], result.daily)
+    return {
+        "times": list(result.series.times),
+        "total": list(result.series.values.get("total", ())),
+        "stable": list(result.series.values.get("stable", ())),
+        "daily": [list(row) for row in result.daily],
+        "stable_ratio": result.stable_ratio(),
+    }
 
 
-def _analyze_fig2(trace, csv_dir):
-    shares = ex.fig2_isp_shares(trace)
+def _analyze_fig2(trace, csv_dir, obs):
+    shares = ex.fig2_isp_shares(trace, obs=obs)
     rows = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
     print(format_table(["ISP", "share"], rows, title="Fig. 2 ISP shares"))
     if csv_dir:
         write_csv(csv_dir / "fig2.csv", ["isp", "share"], rows)
+    return {"shares": dict(rows)}
 
 
-def _analyze_fig3(trace, csv_dir):
-    result = ex.fig3_streaming_quality(trace)
+def _analyze_fig3(trace, csv_dir, obs):
+    result = ex.fig3_streaming_quality(trace, obs=obs)
     print(format_series(result.series, list(result.channels), title="Fig. 3 streaming quality"))
     for name in result.channels:
         print(f"mean {name}: {result.mean_quality(name):.3f} (paper: ~0.75)")
@@ -232,10 +283,16 @@ def _analyze_fig3(trace, csv_dir):
             [t] + [row.get(c) for c in cols] for t, row in result.series.rows()
         ]
         write_csv(csv_dir / "fig3.csv", ["t"] + cols, rows)
+    return {
+        "times": list(result.series.times),
+        "quality": {name: list(result.series.values.get(name, ())) for name in result.channels},
+        "mean_quality": {name: result.mean_quality(name) for name in result.channels},
+    }
 
 
-def _analyze_fig4(trace, csv_dir):
-    result = ex.fig4_degree_distributions(trace)
+def _analyze_fig4(trace, csv_dir, obs):
+    result = ex.fig4_degree_distributions(trace, obs=obs)
+    payload = {}
     for label, kinds in result.distributions.items():
         rows = [
             [kind, dist.mode(), round(dist.mean(), 1), dist.max_degree()]
@@ -243,6 +300,10 @@ def _analyze_fig4(trace, csv_dir):
         ]
         print(format_table(["kind", "mode", "mean", "max"], rows, title=f"Fig. 4 degrees @ {label}"))
         print()
+        payload[label] = {
+            kind: {"mode": dist.mode(), "mean": dist.mean(), "max": dist.max_degree()}
+            for kind, dist in kinds.items()
+        }
         if csv_dir:
             for kind, dist in kinds.items():
                 tag = label.replace(" ", "_")
@@ -251,61 +312,75 @@ def _analyze_fig4(trace, csv_dir):
                     ["degree", "fraction"],
                     dist.pmf(),
                 )
+    return {"distributions": payload}
 
 
-def _analyze_fig5(trace, csv_dir):
-    result = ex.fig5_degree_evolution(trace)
+def _analyze_fig5(trace, csv_dir, obs):
+    result = ex.fig5_degree_evolution(trace, obs=obs)
     rows = [
         [t / 3600.0, d.mean_partners, d.mean_indegree, d.mean_outdegree]
-        for t, d in zip(result.series.times, result.series.column("degrees"))
+        for t, d in zip(result.series.times, result.series.values.get("degrees", ()))
     ]
     print(format_table(["t_hours", "partners", "indegree", "outdegree"], rows, title="Fig. 5 average degrees"))
     if csv_dir:
         write_csv(csv_dir / "fig5.csv", ["t_hours", "partners", "in", "out"], rows)
+    return {"columns": ["t_hours", "partners", "indegree", "outdegree"], "rows": rows}
 
 
-def _analyze_fig6(trace, csv_dir):
-    result = ex.fig6_intra_isp_degrees(trace)
+def _analyze_fig6(trace, csv_dir, obs):
+    result = ex.fig6_intra_isp_degrees(trace, obs=obs)
     rows = [
         [t / 3600.0, v.indegree_fraction, v.outdegree_fraction]
-        for t, v in zip(result.series.times, result.series.column("intra"))
+        for t, v in zip(result.series.times, result.series.values.get("intra", ()))
     ]
     print(format_table(["t_hours", "intra in", "intra out"], rows, title="Fig. 6 intra-ISP degree fractions"))
     print(f"ISP-blind baseline: {result.random_baseline:.3f}")
     if csv_dir:
         write_csv(csv_dir / "fig6.csv", ["t_hours", "in", "out"], rows)
+    return {
+        "columns": ["t_hours", "intra_in", "intra_out"],
+        "rows": rows,
+        "random_baseline": result.random_baseline,
+    }
 
 
-def _analyze_fig7(trace, csv_dir):
+def _analyze_fig7(trace, csv_dir, obs):
+    payload = {}
     for isp in (None, "China Netcom"):
-        result = ex.fig7_small_world(trace, isp=isp)
+        result = ex.fig7_small_world(trace, isp=isp, obs=obs)
         tag = isp or "global"
         rows = [
             [t / 3600.0, m.clustering, m.random_clustering, m.path_length, m.random_path_length]
-            for t, m in zip(result.series.times, result.series.column("sw"))
+            for t, m in zip(result.series.times, result.series.values.get("sw", ()))
         ]
         print(format_table(
             ["t_hours", "C", "C_rand", "L", "L_rand"], rows,
             title=f"Fig. 7 small world ({tag})",
         ))
         print()
+        payload[tag] = {
+            "columns": ["t_hours", "C", "C_rand", "L", "L_rand"],
+            "rows": rows,
+        }
         if csv_dir:
             write_csv(
                 csv_dir / f"fig7_{tag.replace(' ', '_')}.csv",
                 ["t_hours", "C", "C_rand", "L", "L_rand"],
                 rows,
             )
+    return payload
 
 
-def _analyze_fig8(trace, csv_dir):
-    result = ex.fig8_reciprocity(trace)
+def _analyze_fig8(trace, csv_dir, obs):
+    result = ex.fig8_reciprocity(trace, obs=obs)
     rows = [
         [t / 3600.0, m.all_links, m.intra_isp, m.inter_isp]
-        for t, m in zip(result.series.times, result.series.column("rho"))
+        for t, m in zip(result.series.times, result.series.values.get("rho", ()))
     ]
     print(format_table(["t_hours", "rho all", "rho intra", "rho inter"], rows, title="Fig. 8 edge reciprocity"))
     if csv_dir:
         write_csv(csv_dir / "fig8.csv", ["t_hours", "all", "intra", "inter"], rows)
+    return {"columns": ["t_hours", "rho_all", "rho_intra", "rho_inter"], "rows": rows}
 
 
 _ANALYZERS = {
@@ -320,6 +395,45 @@ _ANALYZERS = {
 }
 
 
+def _campaign_health_rows(health: dict[str, object]) -> list[list[object]]:
+    """Collection/recovery accounting rows from a persisted health.json."""
+    counters = health.get("health")
+    counters = counters if isinstance(counters, dict) else {}
+    return [
+        ["rounds completed", health.get("rounds_completed", "?")],
+        ["trace records", health.get("trace_records", "?")],
+        ["resumed from round", health.get("resumed_from_round")],
+        ["server-dropped reports", counters.get("server_dropped", 0)],
+        ["quarantined records (recovery)", counters.get("quarantined", 0)],
+        ["truncated lines (recovery)", counters.get("truncated_lines", 0)],
+        ["parse failures (recovery)", counters.get("parse_failures", 0)],
+    ]
+
+
+def _print_campaign_health(trace_path: Path) -> None:
+    health = ex.load_campaign_health(trace_path)
+    if health is None:
+        return
+    print()
+    print(format_table(
+        ["property", "value"],
+        _campaign_health_rows(health),
+        title=f"campaign health {trace_path}",
+    ))
+
+
+def _run_figures(trace, figures, csv_dir, obs) -> dict[str, object]:
+    payloads: dict[str, object] = {}
+    for fig in figures:
+        try:
+            payloads[fig] = _ANALYZERS[fig](trace, csv_dir, obs)
+        except ValueError as exc:
+            payloads[fig] = {"skipped": str(exc)}
+            print(f"{fig}: skipped ({exc})")
+        print()
+    return payloads
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     if not args.trace.exists():
         print(f"error: no such trace: {args.trace}", file=sys.stderr)
@@ -328,14 +442,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
     trace = _open_trace(args.trace, tolerant=args.tolerant)
     figures = FIGURES if args.figure == "all" else (args.figure,)
-    for fig in figures:
-        try:
-            _ANALYZERS[fig](trace, args.csv_dir)
-        except ValueError as exc:
-            print(f"{fig}: skipped ({exc})")
-        print()
-    if args.tolerant:
-        print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
+    obs = create_observer(args.obs_dir)
+    try:
+        if args.json:
+            with contextlib.redirect_stdout(io.StringIO()):
+                payloads = _run_figures(trace, figures, args.csv_dir, obs)
+            doc: dict[str, object] = {"trace": str(args.trace), "figures": payloads}
+            if args.tolerant:
+                doc["trace_health"] = dataclasses.asdict(trace.health)
+            campaign_health = ex.load_campaign_health(args.trace)
+            if campaign_health is not None:
+                doc["campaign_health"] = campaign_health
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            _run_figures(trace, figures, args.csv_dir, obs)
+            if args.tolerant:
+                print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
+            _print_campaign_health(args.trace)
+    finally:
+        if args.obs_dir is not None:
+            finalize_observer(obs, args.obs_dir)
     return 0
 
 
@@ -378,7 +504,18 @@ def cmd_info(args: argparse.Namespace) -> int:
     if args.tolerant:
         print()
         print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
+    _print_campaign_health(args.trace)
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        if not args.obs_dir.is_dir():
+            print(f"error: no such obs directory: {args.obs_dir}", file=sys.stderr)
+            return 2
+        print(render_summary(args.obs_dir))
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -391,6 +528,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_analyze(args)
     if args.command == "info":
         return cmd_info(args)
+    if args.command == "obs":
+        return cmd_obs(args)
     if args.command == "qa":
         return run_qa(args)
     raise AssertionError(f"unhandled command {args.command!r}")

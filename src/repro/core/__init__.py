@@ -28,8 +28,9 @@ from repro.core.metrics import (
     small_world,
     streaming_quality,
 )
-from repro.core.timeseries import SnapshotSeries, observe
+from repro.core.timeseries import SnapshotSeries, observe, round_event_series
 from repro.core.experiments import (
+    CampaignResult,
     Fig1Result,
     Fig3Result,
     Fig4Result,
@@ -37,6 +38,7 @@ from repro.core.experiments import (
     Fig6Result,
     Fig7Result,
     Fig8Result,
+    run_campaign,
     run_simulation_to_trace,
 )
 from repro.core import experiments
@@ -74,7 +76,9 @@ __all__ = [
     "streaming_quality",
     "SnapshotSeries",
     "observe",
+    "round_event_series",
     "experiments",
+    "CampaignResult",
     "Fig1Result",
     "Fig3Result",
     "Fig4Result",
@@ -82,6 +86,7 @@ __all__ = [
     "Fig6Result",
     "Fig7Result",
     "Fig8Result",
+    "run_campaign",
     "run_simulation_to_trace",
     "ResilienceStats",
     "quality_dip",

@@ -9,6 +9,8 @@ chosen scale; benchmarks and examples share it.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Iterable
@@ -30,6 +32,8 @@ from repro.core.metrics import (
 from repro.core.snapshots import build_snapshot
 from repro.core.timeseries import SnapshotSeries, observe
 from repro.graph.degree import DegreeDistribution
+from repro.ioutil import atomic_write_bytes
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.graph.smallworld import SmallWorldMetrics
 from repro.network.isp import IspDatabase, build_default_database
 from repro.simulator.channel import ChannelCatalogue
@@ -74,6 +78,7 @@ def run_simulation_to_trace(
     faults: FaultPlan | None = None,
     channel_faults: ChannelFaults | None = None,
     trace_mode: str = "overwrite",
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Path:
     """Simulate a UUSee deployment and write its trace to ``path``.
 
@@ -92,14 +97,15 @@ def run_simulation_to_trace(
         protocol=protocol or ProtocolConfig(),
         faults=faults,
     )
-    with JsonlTraceStore(path, mode=trace_mode) as store:
+    with JsonlTraceStore(path, mode=trace_mode, obs=obs) as store:
         sink = (
             FaultyChannel(store, channel_faults, seed=seed)
             if channel_faults is not None
             else store
         )
-        system = UUSeeSystem(config, sink, catalogue=catalogue)
-        system.run(days=days)
+        system = UUSeeSystem(config, sink, catalogue=catalogue, obs=obs)
+        with obs.span("campaign.run"):
+            system.run(days=days)
         if sink is not store:
             sink.flush()
     return path
@@ -134,6 +140,7 @@ def run_campaign(
     records_per_segment: int = 100_000,
     compress: bool = False,
     fsync_on_flush: bool = False,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> CampaignResult:
     """Run a crash-safe campaign: segmented trace + periodic checkpoints.
 
@@ -175,11 +182,11 @@ def run_campaign(
             )
         _, state = found
         store = SegmentedTraceStore.recover(
-            trace_dir, fsync_on_flush=fsync_on_flush
+            trace_dir, fsync_on_flush=fsync_on_flush, obs=obs
         )
         if state["trace_records"] is not None:
             store.rollback(state["trace_records"])
-        system = UUSeeSystem(config, store, catalogue=catalogue)
+        system = UUSeeSystem(config, store, catalogue=catalogue, obs=obs)
         restore_into(system, state)
         resumed_from = system.rounds_completed
     else:
@@ -188,27 +195,68 @@ def run_campaign(
             records_per_segment=records_per_segment,
             compress=compress,
             fsync_on_flush=fsync_on_flush,
+            obs=obs,
         )
-        system = UUSeeSystem(config, store, catalogue=catalogue)
+        system = UUSeeSystem(config, store, catalogue=catalogue, obs=obs)
     remaining = days * SECONDS_PER_DAY - system.engine.now
     if remaining > 1e-9:
-        system.run(
-            seconds=remaining,
-            checkpoint=manager,
-            checkpoint_every_rounds=checkpoint_every_rounds,
-        )
+        with obs.span("campaign.run"):
+            system.run(
+                seconds=remaining,
+                checkpoint=manager,
+                checkpoint_every_rounds=checkpoint_every_rounds,
+            )
     manager.save(system)  # final cut: a later --resume extends cleanly
     store.close()
     health = TraceHealth()
     health.merge(store.health)
     system.trace_server.fold_into(health)
-    return CampaignResult(
+    result = CampaignResult(
         trace_dir=trace_dir,
         rounds_completed=system.rounds_completed,
         trace_records=len(store),
         resumed_from_round=resumed_from,
         health=health,
     )
+    _write_campaign_health(result)
+    return result
+
+
+#: File name of the persisted campaign-health summary inside a trace dir.
+CAMPAIGN_HEALTH_NAME = "health.json"
+
+
+def _write_campaign_health(result: CampaignResult) -> None:
+    """Persist collection/recovery accounting next to the trace segments.
+
+    ``info``/``analyze`` read this back, so server-side drops and
+    recovery repairs — which exist only inside the finished campaign
+    process — survive for later inspection of the trace directory.
+    """
+    payload = {
+        "rounds_completed": result.rounds_completed,
+        "trace_records": result.trace_records,
+        "resumed_from_round": result.resumed_from_round,
+        "health": dataclasses.asdict(result.health),
+    }
+    atomic_write_bytes(
+        result.trace_dir / CAMPAIGN_HEALTH_NAME,
+        (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+    )
+
+
+def load_campaign_health(trace_dir: str | Path) -> dict[str, object] | None:
+    """Read a campaign directory's persisted ``health.json`` (or None)."""
+    path = Path(trace_dir) / CAMPAIGN_HEALTH_NAME
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
 
 
 # ------------------------------------------------------------------ Fig. 1
@@ -262,6 +310,7 @@ def fig1_scale(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig1Result:
     """Fig. 1: simultaneous peer counts and daily distinct IPs."""
     series = observe(
@@ -272,6 +321,7 @@ def fig1_scale(
         },
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     daily = daily_distinct_ips(trace)
     return Fig1Result(series=series, daily=daily)
@@ -286,6 +336,7 @@ def fig2_isp_shares(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 6 * SECONDS_PER_HOUR,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> dict[str, float]:
     """Fig. 2: peer shares per ISP, averaged over sampled snapshots."""
     db = db or build_default_database()
@@ -294,10 +345,12 @@ def fig2_isp_shares(
         {"shares": lambda s: isp_shares(s, db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     totals: dict[str, float] = {}
     count = 0
-    for shares in series.column("shares"):
+    # A trace shorter than observe_every yields no sampled windows at all.
+    for shares in series.values.get("shares", ()):
         if not shares:
             continue
         count += 1
@@ -341,6 +394,7 @@ def fig3_streaming_quality(
     stream_rate_kbps: float = 400.0,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig3Result:
     """Fig. 3: fraction of peers with receiving rate >= 90% of the rate."""
     channels = channels or {"CCTV1": 0, "CCTV4": 1}
@@ -355,6 +409,7 @@ def fig3_streaming_quality(
         metrics,
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     return Fig3Result(series=series, channels=channels)
 
@@ -378,6 +433,7 @@ def fig4_degree_distributions(
     *,
     snapshot_times: dict[str, float] | None = None,
     window_seconds: float = 600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig4Result:
     """Fig. 4: partner/in/out degree distributions at selected instants."""
     times = snapshot_times or FIG4_SNAPSHOT_TIMES
@@ -388,10 +444,12 @@ def fig4_degree_distributions(
             if label in out:
                 continue
             if window_start <= t < window_start + window_seconds:
-                snapshot = build_snapshot(
-                    window_reports, time=window_start, window_seconds=window_seconds
-                )
-                out[label] = degree_distributions(snapshot)
+                with obs.span("analytics.snapshot"):
+                    snapshot = build_snapshot(
+                        window_reports, time=window_start, window_seconds=window_seconds
+                    )
+                with obs.span("analytics.metric.degrees"):
+                    out[label] = degree_distributions(snapshot)
         if len(out) == len(wanted):
             break
     missing = set(wanted) - set(out)
@@ -437,6 +495,7 @@ def fig5_degree_evolution(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig5Result:
     """Fig. 5: evolution of mean partner count and active in/outdegree."""
     series = observe(
@@ -444,6 +503,7 @@ def fig5_degree_evolution(
         {"degrees": average_degrees},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     return Fig5Result(series=series)
 
@@ -479,6 +539,7 @@ def fig6_intra_isp_degrees(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig6Result:
     """Fig. 6: average intra-ISP proportion of active degrees over time."""
     db = db or build_default_database()
@@ -487,6 +548,7 @@ def fig6_intra_isp_degrees(
         {"intra": lambda s: intra_isp_degree_fractions(s, db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     return Fig6Result(series=series, random_baseline=random_intra_isp_baseline(db))
 
@@ -533,6 +595,7 @@ def fig7_small_world(
     window_seconds: float = 600.0,
     observe_every: float = 6 * SECONDS_PER_HOUR,
     seed: int = 0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig7Result:
     """Fig. 7: C and L of the stable-peer graph vs matched random graphs.
 
@@ -544,6 +607,7 @@ def fig7_small_world(
         {"sw": lambda s: small_world(s, isp=isp, db=db, seed=seed)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     return Fig7Result(series=series, isp=isp)
 
@@ -585,6 +649,7 @@ def fig8_reciprocity(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig8Result:
     """Fig. 8: Garlaschelli-Loffredo reciprocity, global and ISP-split."""
     db = db or build_default_database()
@@ -593,5 +658,6 @@ def fig8_reciprocity(
         {"rho": lambda s: reciprocity_metrics(s, db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        obs=obs,
     )
     return Fig8Result(series=series)

@@ -1,0 +1,68 @@
+"""Observability for the reproduction: metrics, spans, and exporters.
+
+Magellan is a paper about *measuring* a running P2P system; this
+package gives our own reproduction the same courtesy.  It provides a
+process-local metrics registry (counters, gauges, fixed-bucket
+histograms), a span/tracing API (nested ``with obs.span(...)`` blocks
+timed in wall *and* simulated seconds), and exporters (append-only
+JSONL event log, Prometheus text, atomic JSON snapshots) — all behind
+a no-op default (``NULL_OBSERVER``) so instrumentation costs nothing
+unless a run passes ``--obs-dir``.
+
+Determinism rules (DESIGN.md §7): wall time is read only through the
+injectable clock seam in :mod:`repro.obs.clock`; instrumentation never
+consumes simulation RNG; metric state checkpoints/restores with the
+simulator so resumed campaigns report continuous totals.
+"""
+
+from repro.obs.clock import Clock, ManualClock, WallClock
+from repro.obs.exporters import (
+    JsonlEventLog,
+    create_observer,
+    finalize_observer,
+    render_prometheus,
+    write_metrics_snapshot,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    NULL_OBSERVER,
+    AnyObserver,
+    EventSink,
+    NullObserver,
+    Observer,
+    Span,
+)
+from repro.obs.summarize import (
+    ObsSummary,
+    SpanStats,
+    read_events,
+    render_summary,
+    summarize_dir,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "WallClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "AnyObserver",
+    "EventSink",
+    "Span",
+    "JsonlEventLog",
+    "create_observer",
+    "finalize_observer",
+    "render_prometheus",
+    "write_metrics_snapshot",
+    "ObsSummary",
+    "SpanStats",
+    "read_events",
+    "render_summary",
+    "summarize_dir",
+]

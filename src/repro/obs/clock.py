@@ -1,0 +1,63 @@
+"""The injectable wall-clock seam of the observability subsystem.
+
+Everything in :mod:`repro.obs` that needs a duration reads time through
+a :class:`Clock`, never from :mod:`time` directly — this module is the
+*only* place in the package allowed to touch the host clock (enforced
+by QA rule REP002, which scopes ``obs/`` into the simulated-time
+packages; the single read below carries an audited suppression).
+
+Two implementations ship:
+
+- :class:`WallClock` — monotonic host time, the production default;
+- :class:`ManualClock` — a hand-advanced clock for deterministic tests
+  (span durations become exact, reproducible numbers).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything that can report elapsed seconds from a fixed origin."""
+
+    def now(self) -> float:
+        """Seconds since an arbitrary but fixed origin."""
+        ...
+
+
+class WallClock:
+    """Monotonic host clock (the production timing source).
+
+    Uses ``time.perf_counter`` — monotonic and high-resolution — so
+    span durations survive NTP steps.  The origin is arbitrary; only
+    differences are meaningful.
+    """
+
+    def now(self) -> float:
+        """Monotonic host seconds (high resolution, arbitrary origin)."""
+        # The one audited wall-clock read of the whole obs package: every
+        # duration measured anywhere in repro.obs flows through here.
+        return time.perf_counter()  # repro: noqa[REP002] the clock seam itself
+
+
+class ManualClock:
+    """A clock advanced explicitly by tests.
+
+    Spans timed against a ``ManualClock`` report exact, reproducible
+    durations, which keeps observability's own tests deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        """Current manual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards: {seconds}")
+        self._now += seconds

@@ -1,0 +1,135 @@
+"""Exporters: JSONL event log, Prometheus text, and JSON snapshots.
+
+Three output formats, all rooted in one ``--obs-dir`` directory:
+
+- ``events.jsonl`` — append-only event log (one JSON object per line),
+  written through :class:`JsonlEventLog` with the same buffered-append
+  + fsync-on-close discipline as the trace stores; opened in append
+  mode so resumed campaigns keep extending the same log.
+- ``metrics.json`` — full registry state (counters, gauges, histogram
+  buckets) written atomically via :mod:`repro.ioutil` at finalise time.
+- ``metrics.prom`` — Prometheus text exposition of the same registry,
+  for eyeballing or scraping.
+
+:func:`create_observer` / :func:`finalize_observer` are the two calls
+the CLI makes: the first builds an enabled :class:`Observer` wired to
+the event log (or hands back :data:`NULL_OBSERVER` when no directory
+was requested), the second flushes and writes the snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.ioutil import atomic_write_bytes, fsync_directory
+from repro.obs.clock import Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_OBSERVER, AnyObserver, Observer
+
+EVENTS_FILENAME = "events.jsonl"
+METRICS_JSON_FILENAME = "metrics.json"
+METRICS_PROM_FILENAME = "metrics.prom"
+
+
+class JsonlEventLog:
+    """Append-only JSONL event sink with buffered flushing.
+
+    Events are serialised compactly with sorted keys and flushed every
+    ``flush_every`` lines; :meth:`close` flushes, fsyncs the file, and
+    fsyncs the parent directory so the log survives a crash of the
+    process that follows a clean finalise.
+    """
+
+    def __init__(self, path: str | Path, *, flush_every: int = 64) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: TextIO | None = self.path.open("a", encoding="utf-8")
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
+        self.lines_written = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append one event as a JSON line."""
+        if self._fh is None:
+            raise ValueError(f"event log {self.path} is closed")
+        self._fh.write(json.dumps(event, separators=(",", ":"), sort_keys=True) + "\n")
+        self.lines_written += 1
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush, fsync, and close the log (idempotent)."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        fsync_directory(self.path.parent)
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in registry.counters().items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {value:g}")
+    for name, value in registry.gauges().items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value:g}")
+    for name, hist in registry.histograms().items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist.boundaries, hist.bucket_counts):
+            cumulative += bucket
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {hist.total:.9g}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics_snapshot(registry: MetricsRegistry, obs_dir: str | Path) -> None:
+    """Atomically write ``metrics.json`` and ``metrics.prom`` under ``obs_dir``."""
+    directory = Path(obs_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(registry.state(), indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(directory / METRICS_JSON_FILENAME, payload.encode("utf-8"))
+    prom = render_prometheus(registry)
+    atomic_write_bytes(directory / METRICS_PROM_FILENAME, prom.encode("utf-8"))
+
+
+def create_observer(obs_dir: str | Path | None, *, clock: Clock | None = None) -> AnyObserver:
+    """Build the observer for a run.
+
+    With ``obs_dir`` set, returns an enabled :class:`Observer` whose
+    span/custom events append to ``<obs_dir>/events.jsonl``; with
+    ``None``, returns the shared no-op observer.
+    """
+    if obs_dir is None:
+        return NULL_OBSERVER
+    log = JsonlEventLog(Path(obs_dir) / EVENTS_FILENAME)
+    return Observer(clock=clock, sink=log)
+
+
+def finalize_observer(obs: AnyObserver, obs_dir: str | Path | None) -> None:
+    """Flush the event log and write metric snapshots (no-op when disabled)."""
+    if obs_dir is None or not isinstance(obs, Observer):
+        return
+    sink = obs.sink
+    if isinstance(sink, JsonlEventLog):
+        sink.close()
+    write_metrics_snapshot(obs.registry, obs_dir)

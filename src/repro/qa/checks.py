@@ -77,8 +77,10 @@ WALL_CLOCK_CALLS = frozenset(
     }
 )
 
-#: Packages whose runtime must be driven purely by simulated time.
-SIMULATED_TIME_SEGMENTS = frozenset({"simulator", "traces", "core"})
+#: Packages whose runtime must be driven purely by simulated time.  The
+#: obs package is scoped in too: its only sanctioned wall-clock read is
+#: the injectable seam in ``repro/obs/clock.py`` (audited noqa).
+SIMULATED_TIME_SEGMENTS = frozenset({"simulator", "traces", "core", "obs"})
 
 #: RNG methods whose result order depends on the order of their input.
 ORDER_SENSITIVE_RNG_METHODS = frozenset({"choice", "choices", "sample", "shuffle"})
@@ -137,9 +139,10 @@ class WallClockRule(Rule):
     title = "wall-clock read in simulated-time code"
     severity = Severity.ERROR
     rationale = (
-        "simulator/, traces/ and core/ run on the event engine's virtual "
-        "clock; reading the host clock makes traces differ between runs "
-        "and machines."
+        "simulator/, traces/, core/ and obs/ run on the event engine's "
+        "virtual clock; reading the host clock makes traces differ "
+        "between runs and machines (obs durations must flow through the "
+        "injectable clock seam in repro/obs/clock.py)."
     )
 
     def applies_to(self, path: PurePath) -> bool:

@@ -181,6 +181,9 @@ def snapshot_system(
             system.total_departures,
             system.total_crashes,
         ),
+        # None for the no-op observer; plain dicts otherwise, so resumed
+        # campaigns report cumulative metric totals, not restart at zero.
+        "obs": system.obs.checkpoint_state(),
     }
 
 
@@ -243,6 +246,9 @@ def restore_into(system: UUSeeSystem, state: dict[str, Any]) -> None:
         system.total_departures,
         system.total_crashes,
     ) = state["totals"]
+    # .get(): checkpoints written before observability existed lack the
+    # key; restoring into a no-op observer is itself a no-op.
+    system.obs.restore_checkpoint(state.get("obs"))
 
 
 def save_checkpoint(path: str | Path, state: dict[str, Any]) -> Path:

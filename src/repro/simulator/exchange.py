@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.network.latency import LatencyModel
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.simulator.channel import ChannelCatalogue
 from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Link, Peer
@@ -46,6 +47,10 @@ class RoundStats:
     satisfied: int = 0  # viewers receiving >= 90% of the stream rate
     per_channel_viewers: dict[int, int] = field(default_factory=dict)
     per_channel_satisfied: dict[int, int] = field(default_factory=dict)
+    #: Block-transfer allocations made this round (supplier->requester
+    #: pairs that moved data); counted inline so the hot loop never pays
+    #: an observability call.
+    transfers: int = 0
 
     def satisfied_fraction(self, channel_id: int | None = None) -> float:
         if channel_id is None:
@@ -71,6 +76,7 @@ class ExchangeEngine:
         seed: int = 0,
         outages: OutageSchedule | None = None,
         faults: FaultPlan | None = None,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> None:
         self.peers = peers
         self.catalogue = catalogue
@@ -78,6 +84,7 @@ class ExchangeEngine:
         self.latency = latency
         self.config = config
         self.policy = policy
+        self.obs = obs
         if faults is None:
             faults = FaultPlan(outages=outages or OutageSchedule())
         elif outages is not None:
@@ -103,6 +110,7 @@ class ExchangeEngine:
         if self.faults.has_link_faults and self.faults.link_blocked(
             a.isp, b.isp, now
         ):
+            self.obs.count("faults.link_blocked")
             return False  # TCP handshake cannot cross the partition
         limit_b = self.config.max_partners * (4 if b.is_server else 1)
         if len(b.partners) >= limit_b:
@@ -144,10 +152,12 @@ class ExchangeEngine:
         link_ba.est_kbps = neutral
         a.add_partner(b.peer_id, link_ab)
         b.add_partner(a.peer_id, link_ba)
+        self.obs.count("exchange.connects")
         return True
 
     def disconnect(self, a: Peer, partner_id: int) -> None:
         """Tear down both ends of a partnership (if the partner is alive)."""
+        self.obs.count("exchange.disconnects")
         a.remove_partner(partner_id)
         other = self.peers.get(partner_id)
         if other is not None:
@@ -207,7 +217,9 @@ class ExchangeEngine:
         """
         if not self._tracker_reachable(now):
             self._schedule_tracker_retry(peer, now)
+            self.obs.count("faults.tracker_unreachable")
             return False
+        self.obs.count("exchange.tracker_contacts")
         peer.tracker_failures = 0
         peer.next_tracker_retry = math.inf
         if not peer.registered:
@@ -576,6 +588,7 @@ class ExchangeEngine:
                 self._record_transfer(
                     supplier, requester, link, achieved, duration, now
                 )
+                stats.transfers += 1
                 sent_total += achieved
                 received[requester.peer_id] = (
                     received.get(requester.peer_id, 0.0) + achieved

@@ -28,6 +28,7 @@ from repro.network.bandwidth import BandwidthSampler
 from repro.network.ip import CidrBlock, IpAllocator
 from repro.network.isp import DEFAULT_ISPS, Isp, IspDatabase
 from repro.network.latency import LatencyModel
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.simulator.channel import ChannelCatalogue, default_catalogue
 from repro.simulator.engine import EventEngine
 from repro.simulator.exchange import ExchangeEngine, RoundStats
@@ -93,8 +94,12 @@ class UUSeeSystem:
         *,
         catalogue: ChannelCatalogue | None = None,
         isps: tuple[Isp, ...] = DEFAULT_ISPS,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> None:
         self.config = config
+        # Observability only *observes*: it draws nothing from the master
+        # RNG (the seed_for() order below is a compatibility contract).
+        self.obs = obs
         master = random.Random(config.seed)
         seed_for = lambda: master.randrange(2**62)
 
@@ -104,6 +109,7 @@ class UUSeeSystem:
         self.latency = LatencyModel(seed=seed_for())
         self.bandwidth = BandwidthSampler(seed=seed_for())
         self.engine = EventEngine()
+        obs.bind_sim_clock(lambda: self.engine.now)
         if config.num_trackers > 1:
             self.tracker: Tracker | TrackerPool = TrackerPool(
                 config.num_trackers, seed=seed_for()
@@ -111,7 +117,7 @@ class UUSeeSystem:
         else:
             self.tracker = Tracker(seed=seed_for())
         self.trace_server = TraceServer(
-            store, loss_rate=config.trace_loss_rate, seed=seed_for()
+            store, loss_rate=config.trace_loss_rate, seed=seed_for(), obs=obs
         )
         self.arrivals = ArrivalProcess(
             config.population(),
@@ -132,6 +138,7 @@ class UUSeeSystem:
             policy=config.policy,
             seed=seed_for(),
             faults=self.faults,
+            obs=obs,
         )
         self._rng = random.Random(seed_for())
         self._allocators: dict[str, IpAllocator] = {
@@ -224,13 +231,43 @@ class UUSeeSystem:
 
     def _round(self, dt: float) -> None:
         now = self.engine.now
-        self._process_departures(now)
-        self._process_crashes(now, dt)
-        self._process_arrivals(now, dt)
-        self._run_ticks(now)
-        stats = self.exchange.run_round(now, dt)
-        self.round_stats.append(stats)
-        self._emit_reports(now + dt)
+        obs = self.obs
+        arrivals0 = self.total_arrivals
+        departures0 = self.total_departures
+        crashes0 = self.total_crashes
+        with obs.span("round.total"):
+            with obs.span("round.membership"):
+                self._process_departures(now)
+                self._process_crashes(now, dt)
+                self._process_arrivals(now, dt)
+            with obs.span("round.ticks"):
+                self._run_ticks(now)
+            with obs.span("round.exchange"):
+                stats = self.exchange.run_round(now, dt)
+            self.round_stats.append(stats)
+            with obs.span("round.reports"):
+                self._emit_reports(now + dt)
+        if obs.enabled:
+            obs.count("sim.rounds")
+            obs.count("sim.arrivals", self.total_arrivals - arrivals0)
+            obs.count("sim.departures", self.total_departures - departures0)
+            obs.count("sim.crashes", self.total_crashes - crashes0)
+            obs.count("exchange.block_transfers", stats.transfers)
+            obs.gauge_set("sim.peers", stats.viewers)
+            obs.gauge_set("sim.satisfied_fraction", stats.satisfied_fraction())
+            obs.emit(
+                {
+                    "type": "round",
+                    "round": self.rounds_completed + 1,
+                    "sim_time": now,
+                    "viewers": stats.viewers,
+                    "satisfied": stats.satisfied,
+                    "transfers": stats.transfers,
+                    "arrivals": self.total_arrivals - arrivals0,
+                    "departures": self.total_departures - departures0,
+                    "crashes": self.total_crashes - crashes0,
+                }
+            )
 
     # -- membership ----------------------------------------------------------
 

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import BinaryIO, TextIO
 
 from repro.ioutil import atomic_write_bytes
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
 from repro.traces.store import (
@@ -138,6 +139,7 @@ class SegmentedTraceStore:
         compress: bool = False,
         flush_every: int = 256,
         fsync_on_flush: bool = False,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> None:
         if records_per_segment < 1:
             raise ValueError("records_per_segment must be >= 1")
@@ -148,6 +150,7 @@ class SegmentedTraceStore:
         self.compress = compress
         self.flush_every = flush_every
         self.fsync_on_flush = fsync_on_flush
+        self._obs = obs
         #: What the most recent :meth:`recover` repaired (clean here).
         self.health = TraceHealth()
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -237,6 +240,8 @@ class SegmentedTraceStore:
         self._active_hash.update(data.encode("utf-8"))
         self._active_records += 1
         self._pending += 1
+        if self._obs.enabled:
+            self._obs.count("trace.bytes_written", len(data))
         if self._active_records >= self.records_per_segment:
             self._seal_active()
         elif self._pending >= self.flush_every:
@@ -280,6 +285,7 @@ class SegmentedTraceStore:
             )
         )
         self._write_manifest()
+        self._obs.count("trace.segment_rotations")
         self._active_index += 1
         self._reset_active()
 
@@ -351,6 +357,7 @@ class SegmentedTraceStore:
         records_per_segment: int | None = None,
         flush_every: int = 256,
         fsync_on_flush: bool = False,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> SegmentedTraceStore:
         """Reopen a (possibly crashed) segmented trace for append.
 
@@ -371,6 +378,7 @@ class SegmentedTraceStore:
         store.directory = directory
         store.flush_every = flush_every
         store.fsync_on_flush = fsync_on_flush
+        store._obs = obs
         store.health = health
         store._closed = False
         store._fh = None
@@ -480,6 +488,10 @@ class SegmentedTraceStore:
         store._active_records = active_records
         store._active_hash = active_hash
         store._write_manifest()
+        if obs.enabled:
+            obs.count("trace.recovery.runs")
+            obs.count("trace.recovery.quarantined_records", health.quarantined)
+            obs.count("trace.recovery.truncated_lines", health.truncated_lines)
         return store
 
     @staticmethod
@@ -545,6 +557,11 @@ class SegmentedTraceStore:
                 f"{self.directory}: checkpoint expects {total_records} "
                 f"records but only {len(self)} survived recovery; the "
                 "trace lost durable data and cannot rejoin the checkpoint"
+            )
+        if self._obs.enabled:
+            self._obs.count("trace.recovery.rollbacks")
+            self._obs.count(
+                "trace.recovery.rolled_back_records", len(self) - total_records
             )
         self._close_active_file(durable=False)
         # Sealed prefix that survives the cut intact.

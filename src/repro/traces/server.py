@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
 from repro.traces.store import TraceStore
@@ -19,13 +20,19 @@ class TraceServer:
     """Collects measurement reports from peers."""
 
     def __init__(
-        self, store: TraceStore, *, loss_rate: float = 0.01, seed: int = 0
+        self,
+        store: TraceStore,
+        *,
+        loss_rate: float = 0.01,
+        seed: int = 0,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate out of range: {loss_rate}")
         self.store = store
         self.loss_rate = loss_rate
         self._rng = random.Random(seed)
+        self._obs = obs
         self.received = 0
         self.dropped = 0
 
@@ -33,9 +40,11 @@ class TraceServer:
         """Deliver one UDP report; False if it was lost in flight."""
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.dropped += 1
+            self._obs.count("trace.reports_dropped")
             return False
         self.store.append(report)
         self.received += 1
+        self._obs.count("trace.reports_received")
         return True
 
     def fold_into(self, health: TraceHealth) -> TraceHealth:
@@ -46,4 +55,5 @@ class TraceServer:
         drop counter dying unread with the server object.
         """
         health.server_dropped += self.dropped
+        self._obs.count("trace.reports_folded", self.dropped)
         return health

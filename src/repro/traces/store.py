@@ -27,6 +27,7 @@ from pathlib import Path
 from collections.abc import Iterable, Iterator
 from typing import Protocol, cast
 
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.traces.health import TraceHealth
 from repro.traces.records import PeerReport
 
@@ -103,6 +104,7 @@ class JsonlTraceStore:
         mode: str = "create",
         flush_every: int = 256,
         fsync_on_flush: bool = False,
+        obs: AnyObserver = NULL_OBSERVER,
     ) -> None:
         if mode not in _STORE_MODES:
             raise ValueError(
@@ -117,6 +119,7 @@ class JsonlTraceStore:
         self.mode = mode
         self.flush_every = flush_every
         self.fsync_on_flush = fsync_on_flush
+        self._obs = obs
         self._count = 0
         open_mode = _STORE_MODES[mode] + "t"
         if compress:
@@ -141,6 +144,13 @@ class JsonlTraceStore:
         if not line.endswith("\n"):
             self._fh.write("\n")
         self._count += 1
+        if self._obs.enabled:
+            # Pre-compression character count; reports are ASCII JSON, so
+            # this equals the uncompressed on-disk byte count.
+            self._obs.count(
+                "trace.bytes_written",
+                len(line) + (not line.endswith("\n")),
+            )
         if self._count % self.flush_every == 0:
             self.flush()
 

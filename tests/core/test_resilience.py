@@ -1,0 +1,146 @@
+"""Hand-computed fixtures for the dip/recovery resilience metrics.
+
+The series below is small enough to verify every derived number by
+hand; each test states the arithmetic it expects so a regression in
+``quality_dip`` shows up as a wrong constant, not a vague failure.
+"""
+
+import math
+
+import pytest
+
+from repro.core.resilience import quality_dip, satisfied_series
+from repro.simulator.exchange import RoundStats
+
+# One sample every 600 s.  Fault window [3600, 5400]: quality falls to
+# 0.30, then climbs back through the 95% threshold at t = 7200.
+TIMES = [600.0 * i for i in range(1, 16)]
+VALUES = [
+    0.80,  # t= 600
+    0.82,  # t=1200
+    0.78,  # t=1800
+    0.80,  # t=2400
+    0.80,  # t=3000  -- last pre-fault sample
+    0.60,  # t=3600  -- fault starts
+    0.30,  # t=4200  -- worst sample
+    0.40,  # t=4800
+    0.50,  # t=5400  -- fault ends (inclusive)
+    0.60,  # t=6000
+    0.70,  # t=6600
+    0.79,  # t=7200  -- first sample >= 0.95 * baseline = 0.76
+    0.80,  # t=7800
+    0.81,  # t=8400
+    0.80,  # t=9000
+]
+
+FAULT_START = 3_600.0
+FAULT_END = 5_400.0
+# Mean of the five samples in [1600, 3600): t=1800..3000 plus t=1200.
+BASELINE = (0.82 + 0.78 + 0.80 + 0.80) / 4  # baseline_span_s=2400 case
+FULL_BASELINE = (0.80 + 0.82 + 0.78 + 0.80 + 0.80) / 5  # default span
+
+
+class TestQualityDip:
+    def test_hand_computed_fixture(self):
+        stats = quality_dip(
+            TIMES, VALUES, fault_start=FAULT_START, fault_end=FAULT_END
+        )
+        # All five pre-fault samples are within the default 7200 s span.
+        assert stats.baseline == pytest.approx(FULL_BASELINE)  # 0.80
+        assert stats.min_during == pytest.approx(0.30)
+        assert stats.dip_depth == pytest.approx(FULL_BASELINE - 0.30)
+        # Threshold 0.95 * 0.80 = 0.76; first post-fault sample at or
+        # above it is 0.79 at t=7200 -> 1800 s after the fault ended.
+        assert stats.recovery_time_s == pytest.approx(1_800.0)
+        assert stats.recovered_value == pytest.approx(0.79)
+        assert stats.recovered
+
+    def test_baseline_span_limits_samples(self):
+        stats = quality_dip(
+            TIMES,
+            VALUES,
+            fault_start=FAULT_START,
+            fault_end=FAULT_END,
+            baseline_span_s=2_400.0,
+        )
+        # Span [1200, 3600) keeps exactly t=1200, 1800, 2400, 3000.
+        assert stats.baseline == pytest.approx(BASELINE)  # 0.80
+
+    def test_never_recovers(self):
+        times = [600.0, 1_200.0, 1_800.0, 2_400.0, 3_000.0]
+        values = [0.80, 0.80, 0.20, 0.30, 0.40]
+        stats = quality_dip(
+            times, values, fault_start=1_500.0, fault_end=1_900.0
+        )
+        assert stats.recovery_time_s == math.inf
+        assert not stats.recovered
+        # The last post-fault sample is reported even without recovery.
+        assert stats.recovered_value == pytest.approx(0.40)
+
+    def test_fault_boundaries_inclusive(self):
+        # Samples exactly at fault_start and fault_end count as "during".
+        times = [0.0, 100.0, 200.0, 300.0]
+        values = [1.0, 0.5, 0.4, 1.0]
+        stats = quality_dip(times, values, fault_start=100.0, fault_end=200.0)
+        assert stats.min_during == pytest.approx(0.4)
+        # Recovery scanning starts strictly after fault_end.
+        assert stats.recovery_time_s == pytest.approx(100.0)
+
+    def test_quality_rose_during_fault(self):
+        # A "fault" the swarm absorbed: dip_depth clamps at zero.
+        times = [0.0, 100.0, 200.0]
+        values = [0.5, 0.9, 0.9]
+        stats = quality_dip(times, values, fault_start=50.0, fault_end=150.0)
+        assert stats.dip_depth == 0.0
+
+    def test_none_samples_skipped(self):
+        times = [0.0, 100.0, 200.0, 300.0, 400.0]
+        values = [0.8, None, 0.2, None, 0.8]
+        stats = quality_dip(times, values, fault_start=150.0, fault_end=250.0)
+        assert stats.baseline == pytest.approx(0.8)
+        assert stats.min_during == pytest.approx(0.2)
+        assert stats.recovery_time_s == pytest.approx(150.0)
+
+    def test_no_pre_fault_samples_raises(self):
+        with pytest.raises(ValueError, match="before the fault"):
+            quality_dip([5_000.0], [0.8], fault_start=100.0, fault_end=200.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="equal length"):
+            quality_dip([1.0, 2.0], [0.5], fault_start=0.5, fault_end=1.5)
+
+    def test_empty_fault_window_raises(self):
+        with pytest.raises(ValueError, match="positive length"):
+            quality_dip([1.0], [0.5], fault_start=2.0, fault_end=2.0)
+
+    def test_no_samples_during_fault_uses_baseline(self):
+        times = [0.0, 100.0, 500.0]
+        values = [0.8, 0.8, 0.8]
+        stats = quality_dip(times, values, fault_start=200.0, fault_end=300.0)
+        assert stats.min_during == pytest.approx(0.8)
+        assert stats.dip_depth == 0.0
+
+
+class TestSatisfiedSeries:
+    def test_from_round_stats(self):
+        rounds = [
+            RoundStats(time=600.0, viewers=10, satisfied=8),
+            RoundStats(time=1_200.0, viewers=20, satisfied=5),
+            RoundStats(time=1_800.0, viewers=0, satisfied=0),
+        ]
+        times, values = satisfied_series(rounds)
+        assert times == [600.0, 1_200.0, 1_800.0]
+        assert values == pytest.approx([0.8, 0.25, 0.0])
+
+    def test_feeds_quality_dip(self):
+        rounds = [
+            RoundStats(time=600.0 * (i + 1), viewers=100, satisfied=s)
+            for i, s in enumerate([80, 82, 78, 80, 80, 60, 30, 40, 50,
+                                   60, 70, 79, 80, 81, 80])
+        ]
+        times, values = satisfied_series(rounds)
+        stats = quality_dip(
+            times, values, fault_start=FAULT_START, fault_end=FAULT_END
+        )
+        assert stats.baseline == pytest.approx(FULL_BASELINE)
+        assert stats.recovery_time_s == pytest.approx(1_800.0)

@@ -1,0 +1,93 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.add()
+        c.add(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("x").add(-1.0)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", boundaries=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 5.0, 100.0):
+            h.observe(v)
+        # boundaries are exclusive upper bounds (bisect_right): a value
+        # equal to a boundary lands in the next bucket, 100 in +Inf.
+        assert h.bucket_counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(105.65)
+        assert h.mean == pytest.approx(105.65 / 5)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("x", boundaries=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_listing_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").add()
+        reg.counter("a").add(2)
+        assert list(reg.counters()) == ["a", "z"]
+        assert reg.counters() == {"a": 2.0, "z": 1.0}
+
+    def test_state_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(7)
+        reg.gauge("g").set(-1.5)
+        h = reg.histogram("h", boundaries=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+
+        restored = MetricsRegistry()
+        restored.restore(reg.state())
+        assert restored.state() == reg.state()
+        assert restored.counter("c").value == 7.0
+        assert restored.gauge("g").value == -1.5
+        rh = restored.histogram("h")
+        assert rh.boundaries == (1.0, 2.0)
+        assert rh.bucket_counts == [1, 1, 0]
+        assert rh.count == 2
+        assert rh.total == pytest.approx(2.0)
+
+    def test_restore_replaces_existing_content(self):
+        reg = MetricsRegistry()
+        reg.counter("stale").add(99)
+        reg.restore({"counters": {"fresh": 1.0}})
+        assert reg.counters() == {"fresh": 1.0}
+
+    def test_state_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").add()
+        reg.histogram("h").observe(0.2)
+        assert json.loads(json.dumps(reg.state())) == reg.state()

@@ -1,0 +1,160 @@
+"""Span/observer tests driven by the deterministic ManualClock."""
+
+import pytest
+
+from repro.obs import NULL_OBSERVER, ManualClock, NullObserver, Observer
+
+
+class ListSink:
+    """Event sink collecting into a list (test double)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def sink():
+    return ListSink()
+
+
+@pytest.fixture
+def obs(clock, sink):
+    return Observer(clock=clock, sink=sink)
+
+
+class TestManualClock:
+    def test_advances(self, clock):
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+
+    def test_rejects_negative_advance(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestSpan:
+    def test_records_wall_time(self, obs, clock, sink):
+        with obs.span("work"):
+            clock.advance(0.25)
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["wall_s"] == pytest.approx(0.25)
+        assert event["depth"] == 0
+        assert "error" not in event
+
+    def test_duration_feeds_histogram_of_same_name(self, obs, clock):
+        with obs.span("work"):
+            clock.advance(0.25)
+        h = obs.registry.histogram("work")
+        assert h.count == 1
+        assert h.total == pytest.approx(0.25)
+
+    def test_nesting_depth(self, obs, clock, sink):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                clock.advance(1.0)
+        inner, outer = sink.events  # inner closes first
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+        assert outer["wall_s"] == pytest.approx(1.0)
+
+    def test_sim_time_via_bound_clock(self, obs, clock, sink):
+        sim_now = [100.0]
+        obs.bind_sim_clock(lambda: sim_now[0])
+        with obs.span("round"):
+            clock.advance(0.1)
+            sim_now[0] = 700.0
+        (event,) = sink.events
+        assert event["sim_s"] == pytest.approx(600.0)
+
+    def test_sim_time_defaults_to_zero(self, obs, clock, sink):
+        with obs.span("work"):
+            clock.advance(0.1)
+        assert sink.events[0]["sim_s"] == 0.0
+
+    def test_exception_tagging(self, obs, clock, sink):
+        with pytest.raises(RuntimeError):
+            with obs.span("work"):
+                raise RuntimeError("boom")
+        (event,) = sink.events
+        assert event["error"] == "RuntimeError"
+        # the stack unwound despite the exception
+        assert obs.span("next").__enter__()._depth == 0
+
+    def test_tags_pass_through(self, obs, sink):
+        with obs.span("work", figure="fig4"):
+            pass
+        assert sink.events[0]["tags"] == {"figure": "fig4"}
+
+    def test_no_sink_still_times(self, clock):
+        obs = Observer(clock=clock)
+        with obs.span("work"):
+            clock.advance(2.0)
+        assert obs.registry.histogram("work").total == pytest.approx(2.0)
+
+
+class TestObserverMetrics:
+    def test_count_gauge_observe(self, obs):
+        obs.count("c")
+        obs.count("c", 4)
+        obs.gauge_set("g", 9.0)
+        obs.observe("h", 0.3)
+        assert obs.registry.counter("c").value == 5.0
+        assert obs.registry.gauge("g").value == 9.0
+        assert obs.registry.histogram("h").count == 1
+
+    def test_emit_forwards_to_sink(self, obs, sink):
+        obs.emit({"type": "round", "round": 1})
+        assert sink.events == [{"type": "round", "round": 1}]
+
+    def test_checkpoint_round_trip(self, obs, clock):
+        obs.count("c", 3)
+        with obs.span("work"):
+            clock.advance(0.5)
+        state = obs.checkpoint_state()
+
+        fresh = Observer(clock=ManualClock())
+        fresh.restore_checkpoint(state)
+        assert fresh.registry.counter("c").value == 3.0
+        assert fresh.registry.histogram("work").count == 1
+        # counting continues on top of the restored totals
+        fresh.count("c")
+        assert fresh.registry.counter("c").value == 4.0
+
+    def test_restore_none_is_noop(self, obs):
+        obs.count("c")
+        obs.restore_checkpoint(None)
+        assert obs.registry.counter("c").value == 1.0
+
+
+class TestNullObserver:
+    def test_disabled_flag(self):
+        assert NULL_OBSERVER.enabled is False
+        assert Observer(clock=ManualClock()).enabled is True
+
+    def test_all_operations_are_noops(self):
+        null = NullObserver()
+        null.bind_sim_clock(lambda: 0.0)
+        null.count("c", 5)
+        null.gauge_set("g", 1.0)
+        null.observe("h", 0.1)
+        null.emit({"type": "x"})
+        null.restore_checkpoint({"registry": {}})
+        assert null.checkpoint_state() is None
+
+    def test_span_is_shared_context_manager(self):
+        null = NullObserver()
+        span = null.span("a")
+        assert span is null.span("b", tag=1)
+        with span:
+            pass

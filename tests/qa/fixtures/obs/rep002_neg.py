@@ -1,0 +1,13 @@
+"""REP002 negative: obs timing flows through the injectable clock seam."""
+
+
+class _ManualClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+
+def _span_start(clock: _ManualClock) -> float:
+    return clock.now()

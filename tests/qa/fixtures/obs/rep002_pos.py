@@ -1,0 +1,16 @@
+"""REP002 positive: raw monotonic/perf_counter reads in an obs module.
+
+Observability code must never read the wall clock directly — durations
+flow through the injectable seam in ``repro.obs.clock`` so tests can
+drive them deterministically.
+"""
+
+import time
+
+
+def _span_start() -> float:
+    return time.perf_counter()
+
+
+def _heartbeat() -> float:
+    return time.monotonic()

@@ -70,6 +70,26 @@ class TestScoping:
         findings = findings_for(FIXTURES / "rep002_out_of_scope.py")
         assert [f for f in findings if f.rule_id == "REP002"] == []
 
+    def test_rep002_fires_on_raw_clock_reads_in_obs(self):
+        # perf_counter/monotonic inside an obs/ path are findings: the
+        # observability layer must go through its injectable clock seam.
+        findings = findings_for(FIXTURES / "obs" / "rep002_pos.py")
+        hits = [f for f in findings if f.rule_id == "REP002"]
+        assert len(hits) == 2, hits
+
+    def test_rep002_obs_clock_seam_pattern_is_clean(self):
+        findings = findings_for(FIXTURES / "obs" / "rep002_neg.py")
+        assert [f for f in findings if f.rule_id == "REP002"] == []
+
+    def test_shipped_obs_package_is_clean(self):
+        # The real package's only wall-clock read is the acknowledged
+        # seam in repro/obs/clock.py; everything else must stay clean.
+        import repro.obs
+
+        pkg = Path(repro.obs.__file__).parent
+        findings = scan_paths([pkg]).findings
+        assert findings == [], findings
+
     def test_rep004_exempts_test_modules(self):
         from pathlib import PurePath
 

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.simulator",
     "repro.traces",
     "repro.core",
+    "repro.obs",
 ]
 
 

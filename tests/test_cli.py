@@ -182,3 +182,84 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "Fig. 1(A)" in out
         assert "Fig. 8" in out
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def obs_campaign(self, tmp_path_factory):
+        """A short instrumented campaign: (trace_dir, obs_dir)."""
+        root = tmp_path_factory.mktemp("obs-cli")
+        trace_dir = root / "trace"
+        obs_dir = root / "obs"
+        argv = [
+            "run", "--trace-dir", str(trace_dir), "--days", "0.1",
+            "--base", "60", "--seed", "5", "--no-flash-crowd",
+            "--obs-dir", str(obs_dir),
+        ]
+        assert main(argv) == 0
+        return trace_dir, obs_dir
+
+    def test_run_writes_obs_files(self, obs_campaign, capsys):
+        _, obs_dir = obs_campaign
+        for name in ("events.jsonl", "metrics.json", "metrics.prom"):
+            assert (obs_dir / name).exists(), name
+
+    def test_obs_summarize(self, obs_campaign, capsys):
+        _, obs_dir = obs_campaign
+        assert main(["obs", "summarize", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Round-phase timings" in out
+        assert "campaign.run" in out
+        assert "sim.rounds" in out
+
+    def test_obs_summarize_missing_dir(self, tmp_path, capsys):
+        rc = main(["obs", "summarize", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no such obs directory" in capsys.readouterr().err
+
+    def test_info_surfaces_campaign_health(self, obs_campaign, capsys):
+        trace_dir, _ = obs_campaign
+        assert main(["info", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign health" in out
+        assert "server-dropped reports" in out
+
+    def test_analyze_json_document(self, obs_campaign, capsys):
+        import json
+
+        trace_dir, _ = obs_campaign
+        rc = main(
+            ["analyze", "--trace", str(trace_dir), "--figure", "fig1", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        fig1 = doc["figures"]["fig1"]
+        assert fig1["times"]
+        assert len(fig1["total"]) == len(fig1["times"])
+        # collection-path loss accounting rides along for campaign dirs
+        assert "campaign_health" in doc
+        assert "server_dropped" in doc["campaign_health"]["health"]
+
+    def test_analyze_json_all_figures_parses(self, cli_trace, capsys):
+        import json
+
+        assert main(["analyze", "--trace", str(cli_trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["figures"]) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"
+        }
+
+    def test_analyze_obs_dir_profiles_analytics(self, cli_trace, tmp_path, capsys):
+        obs_dir = tmp_path / "ana-obs"
+        rc = main(
+            [
+                "analyze", "--trace", str(cli_trace), "--figure", "fig1",
+                "--obs-dir", str(obs_dir),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Analytics timings" in out
+        assert "analytics.snapshot" in out
