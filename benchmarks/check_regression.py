@@ -1,0 +1,120 @@
+"""Compare a BENCH_report.json against the committed perf baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py [REPORT [BASELINE]]
+
+Defaults: ``BENCH_report.json`` at the repo root against
+``benchmarks/baseline.json``.  The gate fails (exit 1) when any
+benchmark present in both files is more than ``--tolerance`` slower
+than its baseline mean (default 20%).  Benchmarks missing from either
+side are reported but never fail the gate, so adding or retiring a
+benchmark does not require a lockstep baseline update.
+
+The baseline is refreshed deliberately, not automatically::
+
+    python benchmarks/check_regression.py --update-baseline
+
+which rewrites ``benchmarks/baseline.json`` from the current report.
+Commit the result together with the optimisation (or regression
+acceptance) that motivated it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_REPORT = REPO_ROOT / "BENCH_report.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def _means(report: dict) -> dict[str, float]:
+    """{nodeid: mean seconds} for every timed benchmark in a report."""
+    out: dict[str, float] = {}
+    for row in report.get("benchmarks", []):
+        mean = row.get("mean_s")
+        if isinstance(mean, (int, float)) and mean > 0:
+            out[str(row["nodeid"])] = float(mean)
+    return out
+
+
+def check(
+    report_path: Path, baseline_path: Path, *, tolerance: float
+) -> int:
+    report = json.loads(report_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    current = _means(report)
+    reference = {
+        k: float(v) for k, v in baseline.get("means_s", {}).items()
+    }
+
+    failures: list[str] = []
+    for nodeid in sorted(reference):
+        base = reference[nodeid]
+        now = current.get(nodeid)
+        if now is None:
+            print(f"SKIP  {nodeid}: not in current report")
+            continue
+        ratio = now / base
+        verdict = "FAIL" if ratio > 1.0 + tolerance else "ok"
+        print(
+            f"{verdict:4}  {nodeid}: {now * 1e3:.3f} ms vs baseline"
+            f" {base * 1e3:.3f} ms ({ratio - 1.0:+.1%})"
+        )
+        if ratio > 1.0 + tolerance:
+            failures.append(nodeid)
+    for nodeid in sorted(set(current) - set(reference)):
+        print(f"NEW   {nodeid}: {current[nodeid] * 1e3:.3f} ms (no baseline)")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than"
+            f" {tolerance:.0%} vs benchmarks/baseline.json"
+        )
+        return 1
+    print("\nno perf regressions beyond tolerance")
+    return 0
+
+
+def update_baseline(report_path: Path, baseline_path: Path) -> int:
+    report = json.loads(report_path.read_text())
+    payload = {
+        "config": report.get("config", {}),
+        "means_s": _means(report),
+    }
+    baseline_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"baseline rewritten from {report_path} -> {baseline_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", type=Path, default=DEFAULT_REPORT)
+    parser.add_argument(
+        "baseline", nargs="?", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed slowdown fraction before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the report instead of checking",
+    )
+    args = parser.parse_args(argv)
+    if args.update_baseline:
+        return update_baseline(args.report, args.baseline)
+    return check(args.report, args.baseline, tolerance=args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

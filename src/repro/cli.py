@@ -148,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-dir", type=Path,
         help="record per-metric analytics timings into this directory",
     )
+    ana.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate snapshot windows on N worker processes "
+        "(output is byte-identical to --workers 1)",
+    )
 
     info = sub.add_parser("info", help="summarise a trace file")
     info.add_argument("--trace", type=Path, required=True)
@@ -244,8 +249,8 @@ def _open_trace(path: Path, *, tolerant: bool):
     return TolerantTraceReader(path) if tolerant else TraceReader(path)
 
 
-def _analyze_fig1(trace, csv_dir, obs):
-    result = ex.fig1_scale(trace, obs=obs)
+def _analyze_fig1(trace, csv_dir, obs, workers=1):
+    result = ex.fig1_scale(trace, workers=workers, obs=obs)
     print(format_series(result.series, ["total", "stable"], title="Fig. 1(A) simultaneous peers"))
     print()
     print(format_table(["day", "total IPs", "stable IPs"], result.daily, title="Fig. 1(B) daily distinct IPs"))
@@ -263,8 +268,8 @@ def _analyze_fig1(trace, csv_dir, obs):
     }
 
 
-def _analyze_fig2(trace, csv_dir, obs):
-    shares = ex.fig2_isp_shares(trace, obs=obs)
+def _analyze_fig2(trace, csv_dir, obs, workers=1):
+    shares = ex.fig2_isp_shares(trace, workers=workers, obs=obs)
     rows = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
     print(format_table(["ISP", "share"], rows, title="Fig. 2 ISP shares"))
     if csv_dir:
@@ -272,8 +277,8 @@ def _analyze_fig2(trace, csv_dir, obs):
     return {"shares": dict(rows)}
 
 
-def _analyze_fig3(trace, csv_dir, obs):
-    result = ex.fig3_streaming_quality(trace, obs=obs)
+def _analyze_fig3(trace, csv_dir, obs, workers=1):
+    result = ex.fig3_streaming_quality(trace, workers=workers, obs=obs)
     print(format_series(result.series, list(result.channels), title="Fig. 3 streaming quality"))
     for name in result.channels:
         print(f"mean {name}: {result.mean_quality(name):.3f} (paper: ~0.75)")
@@ -290,7 +295,10 @@ def _analyze_fig3(trace, csv_dir, obs):
     }
 
 
-def _analyze_fig4(trace, csv_dir, obs):
+def _analyze_fig4(trace, csv_dir, obs, workers=1):
+    # Fig. 4 reads four specific instants from one streaming pass; there
+    # is nothing to fan out, so it always runs serially.
+    del workers
     result = ex.fig4_degree_distributions(trace, obs=obs)
     payload = {}
     for label, kinds in result.distributions.items():
@@ -315,8 +323,8 @@ def _analyze_fig4(trace, csv_dir, obs):
     return {"distributions": payload}
 
 
-def _analyze_fig5(trace, csv_dir, obs):
-    result = ex.fig5_degree_evolution(trace, obs=obs)
+def _analyze_fig5(trace, csv_dir, obs, workers=1):
+    result = ex.fig5_degree_evolution(trace, workers=workers, obs=obs)
     rows = [
         [t / 3600.0, d.mean_partners, d.mean_indegree, d.mean_outdegree]
         for t, d in zip(result.series.times, result.series.values.get("degrees", ()))
@@ -327,8 +335,8 @@ def _analyze_fig5(trace, csv_dir, obs):
     return {"columns": ["t_hours", "partners", "indegree", "outdegree"], "rows": rows}
 
 
-def _analyze_fig6(trace, csv_dir, obs):
-    result = ex.fig6_intra_isp_degrees(trace, obs=obs)
+def _analyze_fig6(trace, csv_dir, obs, workers=1):
+    result = ex.fig6_intra_isp_degrees(trace, workers=workers, obs=obs)
     rows = [
         [t / 3600.0, v.indegree_fraction, v.outdegree_fraction]
         for t, v in zip(result.series.times, result.series.values.get("intra", ()))
@@ -344,10 +352,10 @@ def _analyze_fig6(trace, csv_dir, obs):
     }
 
 
-def _analyze_fig7(trace, csv_dir, obs):
+def _analyze_fig7(trace, csv_dir, obs, workers=1):
     payload = {}
     for isp in (None, "China Netcom"):
-        result = ex.fig7_small_world(trace, isp=isp, obs=obs)
+        result = ex.fig7_small_world(trace, isp=isp, workers=workers, obs=obs)
         tag = isp or "global"
         rows = [
             [t / 3600.0, m.clustering, m.random_clustering, m.path_length, m.random_path_length]
@@ -371,8 +379,8 @@ def _analyze_fig7(trace, csv_dir, obs):
     return payload
 
 
-def _analyze_fig8(trace, csv_dir, obs):
-    result = ex.fig8_reciprocity(trace, obs=obs)
+def _analyze_fig8(trace, csv_dir, obs, workers=1):
+    result = ex.fig8_reciprocity(trace, workers=workers, obs=obs)
     rows = [
         [t / 3600.0, m.all_links, m.intra_isp, m.inter_isp]
         for t, m in zip(result.series.times, result.series.values.get("rho", ()))
@@ -422,11 +430,11 @@ def _print_campaign_health(trace_path: Path) -> None:
     ))
 
 
-def _run_figures(trace, figures, csv_dir, obs) -> dict[str, object]:
+def _run_figures(trace, figures, csv_dir, obs, workers=1) -> dict[str, object]:
     payloads: dict[str, object] = {}
     for fig in figures:
         try:
-            payloads[fig] = _ANALYZERS[fig](trace, csv_dir, obs)
+            payloads[fig] = _ANALYZERS[fig](trace, csv_dir, obs, workers)
         except ValueError as exc:
             payloads[fig] = {"skipped": str(exc)}
             print(f"{fig}: skipped ({exc})")
@@ -442,11 +450,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
     trace = _open_trace(args.trace, tolerant=args.tolerant)
     figures = FIGURES if args.figure == "all" else (args.figure,)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     obs = create_observer(args.obs_dir)
     try:
         if args.json:
             with contextlib.redirect_stdout(io.StringIO()):
-                payloads = _run_figures(trace, figures, args.csv_dir, obs)
+                payloads = _run_figures(
+                    trace, figures, args.csv_dir, obs, args.workers
+                )
             doc: dict[str, object] = {"trace": str(args.trace), "figures": payloads}
             if args.tolerant:
                 doc["trace_health"] = dataclasses.asdict(trace.health)
@@ -455,7 +468,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 doc["campaign_health"] = campaign_health
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:
-            _run_figures(trace, figures, args.csv_dir, obs)
+            _run_figures(trace, figures, args.csv_dir, obs, args.workers)
             if args.tolerant:
                 print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
             _print_campaign_health(args.trace)

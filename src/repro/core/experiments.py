@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from functools import partial
 from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Iterable
@@ -29,8 +30,8 @@ from repro.core.metrics import (
     small_world,
     streaming_quality,
 )
-from repro.core.snapshots import build_snapshot
-from repro.core.timeseries import SnapshotSeries, observe
+from repro.core.snapshots import TopologySnapshot, build_snapshot
+from repro.core.timeseries import MetricFn, SnapshotSeries, observe
 from repro.graph.degree import DegreeDistribution
 from repro.ioutil import atomic_write_bytes
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
@@ -305,22 +306,32 @@ class Fig1Result:
         return nearest_total(flash_time) / reference if reference else 0.0
 
 
+def _snapshot_num_total(snapshot: TopologySnapshot) -> int:
+    return snapshot.num_total
+
+
+def _snapshot_num_stable(snapshot: TopologySnapshot) -> int:
+    return snapshot.num_stable
+
+
 def fig1_scale(
     trace: Iterable[PeerReport],
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig1Result:
     """Fig. 1: simultaneous peer counts and daily distinct IPs."""
     series = observe(
         trace,
         {
-            "total": lambda s: s.num_total,
-            "stable": lambda s: s.num_stable,
+            "total": _snapshot_num_total,
+            "stable": _snapshot_num_stable,
         },
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     daily = daily_distinct_ips(trace)
@@ -336,15 +347,17 @@ def fig2_isp_shares(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 6 * SECONDS_PER_HOUR,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> dict[str, float]:
     """Fig. 2: peer shares per ISP, averaged over sampled snapshots."""
     db = db or build_default_database()
     series = observe(
         trace,
-        {"shares": lambda s: isp_shares(s, db)},
+        {"shares": partial(isp_shares, db=db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     totals: dict[str, float] = {}
@@ -394,13 +407,16 @@ def fig3_streaming_quality(
     stream_rate_kbps: float = 400.0,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig3Result:
     """Fig. 3: fraction of peers with receiving rate >= 90% of the rate."""
     channels = channels or {"CCTV1": 0, "CCTV4": 1}
-    metrics = {
-        name: (
-            lambda s, cid=cid: streaming_quality(s, cid, stream_rate_kbps)
+    metrics: dict[str, MetricFn] = {
+        name: partial(
+            streaming_quality,
+            channel_id=cid,
+            stream_rate_kbps=stream_rate_kbps,
         )
         for name, cid in channels.items()
     }
@@ -409,6 +425,7 @@ def fig3_streaming_quality(
         metrics,
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     return Fig3Result(series=series, channels=channels)
@@ -495,6 +512,7 @@ def fig5_degree_evolution(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig5Result:
     """Fig. 5: evolution of mean partner count and active in/outdegree."""
@@ -503,6 +521,7 @@ def fig5_degree_evolution(
         {"degrees": average_degrees},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     return Fig5Result(series=series)
@@ -539,15 +558,17 @@ def fig6_intra_isp_degrees(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig6Result:
     """Fig. 6: average intra-ISP proportion of active degrees over time."""
     db = db or build_default_database()
     series = observe(
         trace,
-        {"intra": lambda s: intra_isp_degree_fractions(s, db)},
+        {"intra": partial(intra_isp_degree_fractions, db=db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     return Fig6Result(series=series, random_baseline=random_intra_isp_baseline(db))
@@ -595,6 +616,7 @@ def fig7_small_world(
     window_seconds: float = 600.0,
     observe_every: float = 6 * SECONDS_PER_HOUR,
     seed: int = 0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig7Result:
     """Fig. 7: C and L of the stable-peer graph vs matched random graphs.
@@ -604,9 +626,10 @@ def fig7_small_world(
     db = db or build_default_database()
     series = observe(
         trace,
-        {"sw": lambda s: small_world(s, isp=isp, db=db, seed=seed)},
+        {"sw": partial(small_world, isp=isp, db=db, seed=seed)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     return Fig7Result(series=series, isp=isp)
@@ -649,15 +672,17 @@ def fig8_reciprocity(
     *,
     window_seconds: float = 600.0,
     observe_every: float = 3_600.0,
+    workers: int = 1,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Fig8Result:
     """Fig. 8: Garlaschelli-Loffredo reciprocity, global and ISP-split."""
     db = db or build_default_database()
     series = observe(
         trace,
-        {"rho": lambda s: reciprocity_metrics(s, db)},
+        {"rho": partial(reciprocity_metrics, db=db)},
         window_seconds=window_seconds,
         observe_every=observe_every,
+        workers=workers,
         obs=obs,
     )
     return Fig8Result(series=series)

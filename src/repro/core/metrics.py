@@ -11,9 +11,9 @@ from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+from repro.graph.compact import CompactGraph
 from repro.graph.degree import DegreeDistribution
-from repro.graph.digraph import DiGraph
-from repro.graph.reciprocity import edge_reciprocity
+from repro.graph.digraph import Graph
 from repro.graph.smallworld import SmallWorldMetrics, small_world_metrics
 from repro.core.snapshots import TopologySnapshot
 from repro.network.isp import IspDatabase
@@ -118,8 +118,15 @@ def degree_distributions(
     partners, indeg, outdeg = [], [], []
     for report in snapshot.reports.values():
         partners.append(len(report.partners))
-        indeg.append(len(report.active_suppliers(thr)))
-        outdeg.append(len(report.active_receivers(thr)))
+        n_in = 0
+        n_out = 0
+        for p in report.partners:
+            if p.recv_segments >= thr:
+                n_in += 1
+            if p.sent_segments >= thr:
+                n_out += 1
+        indeg.append(n_in)
+        outdeg.append(n_out)
     return {
         "partners": DegreeDistribution.from_degrees(partners),
         "in": DegreeDistribution.from_degrees(indeg),
@@ -163,18 +170,38 @@ def intra_isp_degree_fractions(
     thr = snapshot.active_threshold
     in_fracs: list[float] = []
     out_fracs: list[float] = []
+    lookup = db.lookup
+    # partner IPs repeat heavily across reports; memoise the prefix walk
+    cache: dict[int, str | None] = {}
     for report in snapshot.reports.values():
-        own = db.lookup(report.peer_ip)
+        ip = report.peer_ip
+        own = cache[ip] if ip in cache else cache.setdefault(ip, lookup(ip))
         if own is None:
             continue
-        suppliers = report.active_suppliers(thr)
-        receivers = report.active_receivers(thr)
-        if suppliers:
-            same = sum(1 for p in suppliers if db.lookup(p.ip) == own)
-            in_fracs.append(same / len(suppliers))
-        if receivers:
-            same = sum(1 for p in receivers if db.lookup(p.ip) == own)
-            out_fracs.append(same / len(receivers))
+        n_sup = same_sup = 0
+        n_recv = same_recv = 0
+        for p in report.partners:
+            supplies = p.recv_segments >= thr
+            receives = p.sent_segments >= thr
+            if not (supplies or receives):
+                continue
+            pip = p.ip
+            isp = cache[pip] if pip in cache else cache.setdefault(
+                pip, lookup(pip)
+            )
+            same = isp == own
+            if supplies:
+                n_sup += 1
+                if same:
+                    same_sup += 1
+            if receives:
+                n_recv += 1
+                if same:
+                    same_recv += 1
+        if n_sup:
+            in_fracs.append(same_sup / n_sup)
+        if n_recv:
+            out_fracs.append(same_recv / n_recv)
     return IntraIspDegrees(
         indegree_fraction=sum(in_fracs) / len(in_fracs) if in_fracs else 0.0,
         outdegree_fraction=sum(out_fracs) / len(out_fracs) if out_fracs else 0.0,
@@ -203,16 +230,20 @@ def small_world(
     db: IspDatabase | None = None,
     seed: int = 0,
     path_sample_sources: int | None = 64,
+    exact_below: int = 128,
 ) -> SmallWorldMetrics:
     """Small-world metrics of the stable-peer graph (or one ISP's subgraph)."""
-    graph = snapshot.stable_undirected_graph()
+    graph: Graph | CompactGraph = snapshot.stable_undirected_compact()
     if isp is not None:
         if db is None:
             raise ValueError("ISP subgraph analysis requires the ISP database")
         members = [ip for ip in graph.nodes() if db.lookup(ip) == isp]
-        graph = graph.subgraph(members)
+        graph = snapshot.stable_undirected_graph().subgraph(members)
     return small_world_metrics(
-        graph, seed=seed, path_sample_sources=path_sample_sources
+        graph,
+        seed=seed,
+        path_sample_sources=path_sample_sources,
+        exact_below=exact_below,
     )
 
 
@@ -229,11 +260,20 @@ class ReciprocityMetrics:
     num_edges: int
 
 
-def _links_subgraph(edges: Iterable[tuple[int, int]]) -> DiGraph:
-    g = DiGraph()
-    for u, v in edges:
-        g.add_edge(u, v)
-    return g
+def _rho(num_nodes: int, num_edges: int, bilateral: int) -> float:
+    """Eq. (2) rho from partition counts.
+
+    Exactly the float expressions of :func:`edge_reciprocity` /
+    :func:`reciprocity_from_edges`, so counting-based callers stay
+    bit-identical to the edge-set implementations.
+    """
+    if num_edges == 0 or num_nodes < 2:
+        return 0.0
+    abar = num_edges / (num_nodes * (num_nodes - 1))
+    if abar >= 1.0:
+        return 0.0
+    r = bilateral / num_edges
+    return (r - abar) / (1.0 - abar)
 
 
 def reciprocity_metrics(
@@ -243,28 +283,49 @@ def reciprocity_metrics(
 
     As in the paper, the intra (inter) sub-topology consists of the
     links whose endpoints share (differ in) ISP, plus incident peers.
+    The partitions never materialise as graphs: one pass over the
+    frozen graph's integer edge keys classifies every link, counts its
+    reverse-edge probe, and accumulates the incident-vertex sets an
+    induced subgraph would have.  A link's reverse (when present) is
+    always in the same partition, so one probe serves all three rhos.
     """
-    full = snapshot.active_graph
-    intra_edges = []
-    inter_edges = []
-    isp_cache: dict[int, str | None] = {}
+    full = snapshot.active_compact()
+    n = full.num_nodes
+    succ = full.succ_sets()
+    lookup = db.lookup
+    isp_by_index = [lookup(ip) for ip in full.labels]
 
-    def isp_of(ip: int) -> str | None:
-        if ip not in isp_cache:
-            isp_cache[ip] = db.lookup(ip)
-        return isp_cache[ip]
-
-    for u, v in full.edges():
-        a, b = isp_of(u), isp_of(v)
-        if a is None or b is None:
-            continue
-        if a == b:
-            intra_edges.append((u, v))
-        else:
-            inter_edges.append((u, v))
+    bilateral_all = 0
+    intra_m = inter_m = 0
+    intra_bilateral = inter_bilateral = 0
+    intra_mark = bytearray(n)
+    inter_mark = bytearray(n)
+    for u in range(n):
+        a = isp_by_index[u]
+        for v in succ[u]:
+            reciprocal = u in succ[v]
+            if reciprocal:
+                bilateral_all += 1
+            if a is None:
+                continue
+            b = isp_by_index[v]
+            if b is None:
+                continue
+            if a == b:
+                intra_m += 1
+                intra_mark[u] = 1
+                intra_mark[v] = 1
+                if reciprocal:
+                    intra_bilateral += 1
+            else:
+                inter_m += 1
+                inter_mark[u] = 1
+                inter_mark[v] = 1
+                if reciprocal:
+                    inter_bilateral += 1
     return ReciprocityMetrics(
-        all_links=edge_reciprocity(full),
-        intra_isp=edge_reciprocity(_links_subgraph(intra_edges)),
-        inter_isp=edge_reciprocity(_links_subgraph(inter_edges)),
+        all_links=_rho(n, full.num_edges, bilateral_all),
+        intra_isp=_rho(sum(intra_mark), intra_m, intra_bilateral),
+        inter_isp=_rho(sum(inter_mark), inter_m, inter_bilateral),
         num_edges=full.num_edges,
     )

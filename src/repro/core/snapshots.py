@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Iterable
 
+from repro.graph.compact import CompactDigraph, CompactGraph
 from repro.graph.digraph import DiGraph, Graph
 from repro.traces.records import PeerReport
 
@@ -35,6 +36,10 @@ class TopologySnapshot:
     partner_graph: Graph  # undirected partnerships, all IPs
     active_threshold: int = DEFAULT_ACTIVE_THRESHOLD
     _stable_active: DiGraph | None = field(default=None, repr=False)
+    _active_compact: CompactDigraph | None = field(default=None, repr=False)
+    _stable_undirected_compact: CompactGraph | None = field(
+        default=None, repr=False
+    )
 
     @property
     def stable_ips(self) -> set[int]:
@@ -66,6 +71,25 @@ class TopologySnapshot:
         """Undirected stable-peer graph of active links (Sec. 4.3)."""
         return self.stable_active_graph().to_undirected()
 
+    def active_compact(self) -> CompactDigraph:
+        """Frozen CSR view of the active graph (cached per snapshot)."""
+        if self._active_compact is None:
+            self._active_compact = self.active_graph.freeze()
+        return self._active_compact
+
+    def stable_undirected_compact(self) -> CompactGraph:
+        """Frozen CSR view of the stable undirected graph (cached).
+
+        Built by freezing :meth:`stable_undirected_graph`, so vertex
+        order — and therefore every order-sensitive float accumulation
+        downstream — matches the mutable path exactly.
+        """
+        if self._stable_undirected_compact is None:
+            self._stable_undirected_compact = (
+                self.stable_undirected_graph().freeze()
+            )
+        return self._stable_undirected_compact
+
 
 def build_snapshot(
     reports: Iterable[PeerReport],
@@ -86,19 +110,56 @@ def build_snapshot(
         if previous is None or report.time >= previous.time:
             latest[report.peer_ip] = report
 
+    # Adjacency is assembled directly on the graphs' dict-of-set storage:
+    # this loop dominates per-window analytics cost and per-edge add_edge
+    # calls were its hottest part.  Insertion order (reporter first, then
+    # partners in report order) and dedup match the add_edge path exactly.
     active = DiGraph()
     partners = Graph()
+    padj = partners._adj
+    succ = active._succ
+    pred = active._pred
+    partner_edges = 0
+    active_edges = 0
     for ip, report in latest.items():
-        active.add_node(ip)
-        partners.add_node(ip)
+        prow = padj.get(ip)
+        if prow is None:
+            prow = padj[ip] = set()
+        if ip not in succ:
+            succ[ip] = set()
+            pred[ip] = set()
         for partner in report.partners:
-            if partner.ip == ip:
+            pip = partner.ip
+            if pip == ip:
                 continue
-            partners.add_edge(ip, partner.ip)
+            orow = padj.get(pip)
+            if orow is None:
+                orow = padj[pip] = set()
+            if pip not in prow:
+                prow.add(pip)
+                orow.add(ip)
+                partner_edges += 1
             if partner.recv_segments >= active_threshold:
-                active.add_edge(partner.ip, ip)
+                out_pip = succ.get(pip)
+                if out_pip is None:
+                    out_pip = succ[pip] = set()
+                    pred[pip] = set()
+                if ip not in out_pip:
+                    out_pip.add(ip)
+                    pred[ip].add(pip)
+                    active_edges += 1
             if partner.sent_segments >= active_threshold:
-                active.add_edge(ip, partner.ip)
+                out_ip = succ[ip]
+                if pip not in out_ip:
+                    out_ip.add(pip)
+                    in_pip = pred.get(pip)
+                    if in_pip is None:
+                        succ[pip] = set()
+                        in_pip = pred[pip] = set()
+                    in_pip.add(ip)
+                    active_edges += 1
+    partners._num_edges = partner_edges
+    active._num_edges = active_edges
     return TopologySnapshot(
         time=time,
         window_seconds=window_seconds,

@@ -9,6 +9,7 @@ test suite, to cross-validate these implementations.
 """
 
 from repro.graph.digraph import DiGraph, Graph
+from repro.graph.compact import CompactDigraph, CompactGraph
 from repro.graph.traversal import (
     average_shortest_path_length,
     bfs_distances,
@@ -16,7 +17,11 @@ from repro.graph.traversal import (
     largest_component,
 )
 from repro.graph.clustering import average_clustering, local_clustering
-from repro.graph.reciprocity import edge_reciprocity, raw_reciprocity
+from repro.graph.reciprocity import (
+    edge_reciprocity,
+    raw_reciprocity,
+    reciprocity_from_edges,
+)
 from repro.graph.degree import (
     DegreeDistribution,
     degree_distribution,
@@ -40,6 +45,8 @@ from repro.graph.triads import (
 )
 
 __all__ = [
+    "CompactDigraph",
+    "CompactGraph",
     "DiGraph",
     "Graph",
     "average_shortest_path_length",
@@ -50,6 +57,7 @@ __all__ = [
     "local_clustering",
     "edge_reciprocity",
     "raw_reciprocity",
+    "reciprocity_from_edges",
     "DegreeDistribution",
     "degree_distribution",
     "distribution_mode",

@@ -4,51 +4,68 @@ The paper computes ``C_g = (1/n) * sum_i C_i`` where ``C_i`` is the
 fraction of possible edges present among vertex i's neighbours, and
 compares it against a random graph with the same vertex count and link
 density.  These functions operate on the undirected stable-peer graph.
+
+Both entry points accept a mutable :class:`Graph` or a frozen
+:class:`CompactGraph`.  The kernel counts, for each vertex, the summed
+overlap ``sum_{u in N(i)} |N(u) & N(i)|`` over cached frozensets of
+neighbour *indices* — each realised neighbour pair is seen from both
+ends, so the overlap equals twice the link count and
+``C_i = overlap / (k * (k - 1))`` reproduces the pairwise definition
+bit-for-bit.
 """
 
 from __future__ import annotations
 
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import Graph, Node
 
 
-def local_clustering(graph: Graph, node: Node) -> float:
+def local_clustering(graph: Graph | CompactGraph, node: Node) -> float:
     """C_i: realised fraction of edges among ``node``'s neighbours.
 
     Vertices with degree < 2 have an empty neighbourhood pair set; the
     conventional value 0.0 is returned (matching networkx).
     """
-    nbrs = graph.neighbors(node)
+    compact = graph.freeze()
+    neighbor_sets = compact.neighbor_sets()
+    nbrs = neighbor_sets[compact.index_of[node]]
     k = len(nbrs)
     if k < 2:
         return 0.0
-    links = 0
-    nbr_list = list(nbrs)
-    for i, u in enumerate(nbr_list):
-        u_nbrs = graph.neighbors(u)
-        for v in nbr_list[i + 1 :]:
-            if v in u_nbrs:
-                links += 1
-    return 2.0 * links / (k * (k - 1))
+    overlap = sum(len(neighbor_sets[u] & nbrs) for u in nbrs)
+    return overlap / (k * (k - 1))
 
 
-def average_clustering(graph: Graph, *, count_isolated: bool = True) -> float:
+def average_clustering(
+    graph: Graph | CompactGraph, *, count_isolated: bool = True
+) -> float:
     """C_g: mean of local clustering coefficients over all vertices.
 
     ``count_isolated=True`` (the paper's definition, averaging over *all*
     n vertices) includes degree<2 vertices as zeros; with ``False`` they
     are excluded from the mean.
     """
-    coeffs: list[float] = []
-    for node in graph.nodes():
-        if graph.degree(node) < 2 and not count_isolated:
+    compact = graph.freeze()
+    neighbor_sets = compact.neighbor_sets()
+    total = 0.0
+    counted = 0
+    for nbrs in neighbor_sets:
+        k = len(nbrs)
+        if k < 2:
+            if count_isolated:
+                counted += 1
             continue
-        coeffs.append(local_clustering(graph, node))
-    if not coeffs:
+        overlap = 0
+        for u in nbrs:
+            overlap += len(neighbor_sets[u] & nbrs)
+        total += overlap / (k * (k - 1))
+        counted += 1
+    if counted == 0:
         return 0.0
-    return sum(coeffs) / len(coeffs)
+    return total / counted
 
 
-def expected_random_clustering(graph: Graph) -> float:
+def expected_random_clustering(graph: Graph | CompactGraph) -> float:
     """C of a G(n,m) random graph with this graph's size: its density.
 
     In an Erdos-Renyi graph the probability that two neighbours are linked

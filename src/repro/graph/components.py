@@ -4,50 +4,59 @@ The paper's reciprocity analysis implies a strongly-connected mesh core
 (bilateral links form 2-cycles); these utilities let experiments verify
 that directly.  Tarjan's algorithm is implemented iteratively — the
 stable-peer graphs are large enough to overflow Python's recursion
-limit otherwise.
+limit otherwise.  The traversal runs over the frozen CSR view, whose
+sorted integer successor rows make the visit order deterministic
+without per-vertex ``repr`` sorting.
 """
 
 from __future__ import annotations
 
+from repro.graph.compact import CompactDigraph
 from repro.graph.digraph import DiGraph, Node
 
 
-def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
+def strongly_connected_components(
+    graph: DiGraph | CompactDigraph,
+) -> list[set[Node]]:
     """All SCCs, largest first (iterative Tarjan)."""
-    index_of: dict[Node, int] = {}
-    lowlink: dict[Node, int] = {}
-    on_stack: set[Node] = set()
-    stack: list[Node] = []
+    compact = graph.freeze()
+    n = len(compact.labels)
+    indptr = compact.out_indptr
+    indices = compact.out_indices
+    index_of = [-1] * n
+    lowlink = [0] * n
+    on_stack = bytearray(n)
+    stack: list[int] = []
     components: list[set[Node]] = []
+    labels = compact.labels
     counter = 0
 
-    for root in list(graph.nodes()):
-        if root in index_of:
+    for root in range(n):
+        if index_of[root] >= 0:
             continue
-        # work stack of (node, iterator over successors)
-        work: list[tuple[Node, list[Node], int]] = [
-            (root, sorted(graph.successors(root), key=repr), 0)
-        ]
+        # work stack of (node, position in its CSR successor row)
+        work: list[tuple[int, int]] = [(root, indptr[root])]
         index_of[root] = lowlink[root] = counter
         counter += 1
         stack.append(root)
-        on_stack.add(root)
+        on_stack[root] = 1
         while work:
-            node, succs, i = work.pop()
+            node, i = work.pop()
+            end = indptr[node + 1]
             advanced = False
-            while i < len(succs):
-                nxt = succs[i]
+            while i < end:
+                nxt = indices[i]
                 i += 1
-                if nxt not in index_of:
-                    work.append((node, succs, i))
+                if index_of[nxt] < 0:
+                    work.append((node, i))
                     index_of[nxt] = lowlink[nxt] = counter
                     counter += 1
                     stack.append(nxt)
-                    on_stack.add(nxt)
-                    work.append((nxt, sorted(graph.successors(nxt), key=repr), 0))
+                    on_stack[nxt] = 1
+                    work.append((nxt, indptr[nxt]))
                     advanced = True
                     break
-                if nxt in on_stack:
+                if on_stack[nxt]:
                     lowlink[node] = min(lowlink[node], index_of[nxt])
             if advanced:
                 continue
@@ -55,8 +64,8 @@ def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
                 component: set[Node] = set()
                 while True:
                     w = stack.pop()
-                    on_stack.discard(w)
-                    component.add(w)
+                    on_stack[w] = 0
+                    component.add(labels[w])
                     if w == node:
                         break
                 components.append(component)
@@ -67,7 +76,7 @@ def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
     return components
 
 
-def largest_scc_fraction(graph: DiGraph) -> float:
+def largest_scc_fraction(graph: DiGraph | CompactDigraph) -> float:
     """Fraction of vertices in the largest SCC (0.0 for empty graphs)."""
     if graph.num_nodes == 0:
         return 0.0
@@ -75,6 +84,6 @@ def largest_scc_fraction(graph: DiGraph) -> float:
     return len(components[0]) / graph.num_nodes
 
 
-def condensation_size(graph: DiGraph) -> int:
+def condensation_size(graph: DiGraph | CompactDigraph) -> int:
     """Number of SCCs (vertices of the condensation DAG)."""
     return len(strongly_connected_components(graph))

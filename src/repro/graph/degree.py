@@ -16,6 +16,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from typing import Literal
 
+from repro.graph.compact import CompactDigraph
 from repro.graph.digraph import DiGraph, Node
 from repro.stats import near_zero
 
@@ -107,25 +108,42 @@ class DegreeDistribution:
 
 
 def degrees_of(
-    graph: DiGraph, kind: DegreeKind, nodes: Sequence[Node] | None = None
+    graph: DiGraph | CompactDigraph,
+    kind: DegreeKind,
+    nodes: Sequence[Node] | None = None,
 ) -> list[int]:
     """Degrees of ``nodes`` (default: all vertices) in ``graph``.
 
     ``total`` counts distinct neighbours in either direction, matching the
     paper's 'total number of partners' when applied to the partner graph.
     """
-    targets = list(nodes) if nodes is not None else list(graph.nodes())
+    compact = graph.freeze()
+    index_of = compact.index_of
+    if nodes is not None:
+        targets = [index_of[n] for n in nodes]
+    else:
+        targets = list(range(len(compact.labels)))
     if kind == "in":
-        return [graph.in_degree(n) for n in targets]
+        return [compact.in_degree_by_index(i) for i in targets]
     if kind == "out":
-        return [graph.out_degree(n) for n in targets]
+        return [compact.out_degree_by_index(i) for i in targets]
     if kind == "total":
-        return [len(graph.successors(n) | graph.predecessors(n)) for n in targets]
+        out_indptr, out_indices = compact.out_indptr, compact.out_indices
+        in_indptr, in_indices = compact.in_indptr, compact.in_indices
+        return [
+            len(
+                {*out_indices[out_indptr[i] : out_indptr[i + 1]]}
+                | {*in_indices[in_indptr[i] : in_indptr[i + 1]]}
+            )
+            for i in targets
+        ]
     raise ValueError(f"unknown degree kind: {kind!r}")
 
 
 def degree_distribution(
-    graph: DiGraph, kind: DegreeKind = "total", nodes: Sequence[Node] | None = None
+    graph: DiGraph | CompactDigraph,
+    kind: DegreeKind = "total",
+    nodes: Sequence[Node] | None = None,
 ) -> DegreeDistribution:
     """Empirical degree distribution of ``graph`` restricted to ``nodes``."""
     return DegreeDistribution.from_degrees(degrees_of(graph, kind, nodes))

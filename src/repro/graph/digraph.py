@@ -9,6 +9,10 @@ vertex's neighbourhood O(degree).  Vertices may be any hashable value
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.graph.compact import CompactDigraph, CompactGraph
 
 Node = Hashable
 
@@ -34,11 +38,16 @@ class Graph:
         """Add the undirected edge ``{u, v}``; self-loops are rejected."""
         if u == v:
             raise ValueError(f"self-loop rejected: {u!r}")
-        self.add_node(u)
-        self.add_node(v)
-        if v not in self._adj[u]:
-            self._adj[u].add(v)
-            self._adj[v].add(u)
+        adj = self._adj
+        nbrs_u = adj.get(u)
+        if nbrs_u is None:
+            nbrs_u = adj[u] = set()
+        nbrs_v = adj.get(v)
+        if nbrs_v is None:
+            nbrs_v = adj[v] = set()
+        if v not in nbrs_u:
+            nbrs_u.add(v)
+            nbrs_v.add(u)
             self._num_edges += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
@@ -51,6 +60,8 @@ class Graph:
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
+        if node not in self._adj:
+            raise KeyError(f"no node {node!r}")
         neighbours = self._adj.pop(node)
         for other in neighbours:
             self._adj[other].discard(node)
@@ -103,12 +114,13 @@ class Graph:
         """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
         keep = {n for n in nodes if n in self._adj}
         sub = Graph()
+        adj = sub._adj
+        half_edges = 0
         for n in keep:
-            sub.add_node(n)
-        for n in keep:
-            for v in self._adj[n]:
-                if v in keep and not sub.has_edge(n, v):
-                    sub.add_edge(n, v)
+            row = self._adj[n] & keep
+            adj[n] = row
+            half_edges += len(row)
+        sub._num_edges = half_edges // 2
         return sub
 
     def density(self) -> float:
@@ -117,6 +129,16 @@ class Graph:
         if n < 2:
             return 0.0
         return 2.0 * self._num_edges / (n * (n - 1))
+
+    def freeze(self) -> CompactGraph:
+        """A frozen CSR snapshot of this graph for the metric kernels.
+
+        The compact view shares no state with this graph; later
+        mutations here do not affect it.
+        """
+        from repro.graph.compact import CompactGraph
+
+        return CompactGraph.from_graph(self)
 
 
 class DiGraph:
@@ -142,11 +164,19 @@ class DiGraph:
         """Add the directed edge ``u -> v``; self-loops are rejected."""
         if u == v:
             raise ValueError(f"self-loop rejected: {u!r}")
-        self.add_node(u)
-        self.add_node(v)
-        if v not in self._succ[u]:
-            self._succ[u].add(v)
-            self._pred[v].add(u)
+        succ = self._succ
+        pred = self._pred
+        succ_u = succ.get(u)
+        if succ_u is None:
+            succ_u = succ[u] = set()
+            pred[u] = set()
+        pred_v = pred.get(v)
+        if pred_v is None:
+            succ[v] = set()
+            pred_v = pred[v] = set()
+        if v not in succ_u:
+            succ_u.add(v)
+            pred_v.add(u)
             self._num_edges += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
@@ -159,6 +189,8 @@ class DiGraph:
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise KeyError(f"no node {node!r}")
         out = self._succ.pop(node)
         inc = self._pred.pop(node)
         for v in out:
@@ -226,22 +258,27 @@ class DiGraph:
         """The subgraph induced on ``nodes`` (unknown nodes are ignored)."""
         keep = {n for n in nodes if n in self._succ}
         sub = DiGraph()
+        succ = sub._succ
+        pred = sub._pred
+        edges = 0
         for n in keep:
-            sub.add_node(n)
-        for n in keep:
-            for v in self._succ[n]:
-                if v in keep:
-                    sub.add_edge(n, v)
+            row = self._succ[n] & keep
+            succ[n] = row
+            pred[n] = self._pred[n] & keep
+            edges += len(row)
+        sub._num_edges = edges
         return sub
 
     def to_undirected(self) -> Graph:
         """Collapse edge direction; ``u->v`` and/or ``v->u`` become ``{u,v}``."""
         g = Graph()
-        for n in self._succ:
-            g.add_node(n)
-        for u, v in self.edges():
-            if not g.has_edge(u, v):
-                g.add_edge(u, v)
+        adj = g._adj
+        half_edges = 0
+        for n, out in self._succ.items():
+            row = out | self._pred[n]
+            adj[n] = row
+            half_edges += len(row)
+        g._num_edges = half_edges // 2
         return g
 
     def reverse(self) -> DiGraph:
@@ -252,3 +289,13 @@ class DiGraph:
         for u, v in self.edges():
             rev.add_edge(v, u)
         return rev
+
+    def freeze(self) -> CompactDigraph:
+        """A frozen CSR snapshot of this digraph for the metric kernels.
+
+        The compact view shares no state with this graph; later
+        mutations here do not affect it.
+        """
+        from repro.graph.compact import CompactDigraph
+
+        return CompactDigraph.from_digraph(self)

@@ -3,38 +3,42 @@
 The k-core (maximal subgraph where every vertex keeps degree >= k)
 exposes the stable backbone of a churning overlay: the paper's 'stable
 peers constitute a backbone' claim predicts a deep, large core.  Linear
-time via the Batagelj-Zaversnik bucket algorithm.
+time via the Batagelj-Zaversnik bucket algorithm, run over the frozen
+CSR view so the inner peel loop indexes flat integer arrays.
 """
 
 from __future__ import annotations
 
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import Graph, Node
 
 
-def core_numbers(graph: Graph) -> dict[Node, int]:
+def core_numbers(graph: Graph | CompactGraph) -> dict[Node, int]:
     """Core number of every vertex (Batagelj-Zaversnik)."""
-    degrees = {node: graph.degree(node) for node in graph.nodes()}
-    if not degrees:
+    compact = graph.freeze()
+    n = len(compact.labels)
+    if n == 0:
         return {}
-    max_degree = max(degrees.values())
-    buckets: list[list[Node]] = [[] for _ in range(max_degree + 1)]
-    for node, degree in degrees.items():
-        buckets[degree].append(node)
-    core: dict[Node, int] = {}
-    current = dict(degrees)
-    processed: set[Node] = set()
+    indptr = compact.indptr
+    indices = compact.indices
+    degrees = [indptr[i + 1] - indptr[i] for i in range(n)]
+    max_degree = max(degrees)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for i, degree in enumerate(degrees):
+        buckets[degree].append(i)
+    core = [-1] * n
+    current = list(degrees)
     k = 0
     for degree in range(max_degree + 1):
         bucket = buckets[degree]
         while bucket:
             node = bucket.pop()
-            if node in processed or current[node] != degree:
+            if core[node] >= 0 or current[node] != degree:
                 continue
             k = max(k, degree)
             core[node] = k
-            processed.add(node)
-            for nbr in graph.neighbors(node):
-                if nbr in processed:
+            for nbr in indices[indptr[node] : indptr[node + 1]]:
+                if core[nbr] >= 0:
                     continue
                 d = current[nbr]
                 if d > degree:
@@ -42,20 +46,21 @@ def core_numbers(graph: Graph) -> dict[Node, int]:
                     buckets[d - 1].append(nbr)
     # vertices may have been re-bucketed below their final position;
     # sweep any stragglers (can only happen via duplicate bucket entries)
-    for node in degrees:
-        if node not in core:
-            core[node] = current[node]
-    return core
+    labels = compact.labels
+    return {
+        labels[i]: (core[i] if core[i] >= 0 else current[i]) for i in range(n)
+    }
 
 
-def k_core(graph: Graph, k: int) -> Graph:
+def k_core(graph: Graph | CompactGraph, k: int) -> Graph:
     """The k-core subgraph (possibly empty)."""
     cores = core_numbers(graph)
     members = [node for node, c in cores.items() if c >= k]
-    return graph.subgraph(members)
+    mutable = graph if isinstance(graph, Graph) else graph.thaw()
+    return mutable.subgraph(members)
 
 
-def degeneracy(graph: Graph) -> int:
+def degeneracy(graph: Graph | CompactGraph) -> int:
     """The largest k for which a non-empty k-core exists."""
     cores = core_numbers(graph)
     return max(cores.values()) if cores else 0

@@ -10,8 +10,12 @@ match; G(n, p) is provided for completeness.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
 from repro.graph.digraph import DiGraph, Graph
+
+if TYPE_CHECKING:
+    from repro.graph.compact import CompactGraph
 
 
 def gnm_random_graph(
@@ -28,17 +32,39 @@ def gnm_random_graph(
     if m > possible:
         raise ValueError(f"m={m} exceeds the {possible} possible edges")
     rng = random.Random(seed)
-    graph: Graph | DiGraph = DiGraph() if directed else Graph()
-    for v in range(n):
-        graph.add_node(v)
+    # Adjacency is built on local set rows and attached to the graph at
+    # the end: same accept/reject decisions — hence the same draw
+    # sequence for a given seed — without per-edge method dispatch.
+    randrange = rng.randrange
+    rows: list[set[int]] = [set() for _ in range(n)]
     added = 0
+    if directed:
+        succ = rows
+        pred: list[set[int]] = [set() for _ in range(n)]
+        while added < m:
+            u = randrange(n)
+            v = randrange(n)
+            if u == v or v in succ[u]:
+                continue
+            succ[u].add(v)
+            pred[v].add(u)
+            added += 1
+        digraph = DiGraph()
+        digraph._succ = {i: succ[i] for i in range(n)}
+        digraph._pred = {i: pred[i] for i in range(n)}
+        digraph._num_edges = m
+        return digraph
     while added < m:
-        u = rng.randrange(n)
-        v = rng.randrange(n)
-        if u == v or graph.has_edge(u, v):
+        u = randrange(n)
+        v = randrange(n)
+        if u == v or v in rows[u]:
             continue
-        graph.add_edge(u, v)
+        rows[u].add(v)
+        rows[v].add(u)
         added += 1
+    graph = Graph()
+    graph._adj = {i: rows[i] for i in range(n)}
+    graph._num_edges = m
     return graph
 
 
@@ -62,7 +88,7 @@ def gnp_random_graph(
     return graph
 
 
-def matched_random_graph(graph: Graph, *, seed: int = 0) -> Graph:
+def matched_random_graph(graph: Graph | CompactGraph, *, seed: int = 0) -> Graph:
     """A G(n, m) baseline with the same node and edge counts as ``graph``."""
     result = gnm_random_graph(graph.num_nodes, graph.num_edges, seed=seed)
     assert isinstance(result, Graph)

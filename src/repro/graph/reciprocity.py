@@ -13,32 +13,68 @@ where ``abar`` equals the expected ``r`` of a random digraph with the
 same vertex and edge counts.  rho > 0 means the graph is reciprocal,
 rho < 0 antireciprocal (e.g. tree-like media distribution, where r = 0
 and rho = -abar / (1 - abar)), rho ~= 0 means direction is uncorrelated.
+
+The kernels run over a frozen :class:`CompactDigraph`'s integer edge-key
+set (``u_index * n + v_index``), so testing for the reverse edge is one
+int-set probe.  ``reciprocity_from_edges`` computes rho straight from an
+edge list without building any graph — the analytics layer uses it for
+intra/inter-ISP link partitions.
 """
 
 from __future__ import annotations
 
+from collections.abc import Collection
+
+from repro.graph.compact import CompactDigraph
 from repro.graph.digraph import DiGraph
 
 
-def raw_reciprocity(graph: DiGraph) -> float:
+def raw_reciprocity(graph: DiGraph | CompactDigraph) -> float:
     """Fraction of directed edges whose reverse edge also exists (Eq. 1)."""
-    m = graph.num_edges
+    compact = graph.freeze()
+    m = compact.num_edges
     if m == 0:
         return 0.0
-    bilateral = sum(1 for u, v in graph.edges() if graph.has_edge(v, u))
+    n = len(compact.labels)
+    keys = compact.edge_keys()
+    bilateral = sum(1 for key in keys if (key % n) * n + key // n in keys)
     return bilateral / m
 
 
-def edge_reciprocity(graph: DiGraph) -> float:
+def edge_reciprocity(graph: DiGraph | CompactDigraph) -> float:
     """Garlaschelli-Loffredo edge reciprocity rho (Eq. 2).
 
     Returns 0.0 for degenerate graphs (no edges, or density 1 where the
     measure is undefined).
     """
-    if graph.num_edges == 0:
+    compact = graph.freeze()
+    if compact.num_edges == 0:
         return 0.0
-    abar = graph.density()
+    abar = compact.density()
     if abar >= 1.0:
         return 0.0
-    r = raw_reciprocity(graph)
+    r = raw_reciprocity(compact)
+    return (r - abar) / (1.0 - abar)
+
+
+def reciprocity_from_edges(
+    num_nodes: int, edges: Collection[tuple[int, int]]
+) -> float:
+    """rho (Eq. 2) straight from a directed edge list.
+
+    ``edges`` must hold distinct (u, v) pairs over a vertex set of
+    ``num_nodes`` — exactly what a graph induced on those vertices would
+    contain, so the result is bit-identical to building the graph first.
+    Returns 0.0 for degenerate inputs (no edges, fewer than two vertices,
+    or density 1).
+    """
+    edge_set = edges if isinstance(edges, set) else set(edges)
+    m = len(edge_set)
+    if m == 0 or num_nodes < 2:
+        return 0.0
+    abar = m / (num_nodes * (num_nodes - 1))
+    if abar >= 1.0:
+        return 0.0
+    bilateral = sum(1 for u, v in edge_set if (v, u) in edge_set)
+    r = bilateral / m
     return (r - abar) / (1.0 - abar)

@@ -5,81 +5,158 @@ graphs with ~30k vertices; computing all-pairs BFS exactly is O(n*m).
 ``average_shortest_path_length`` therefore supports exact computation for
 small graphs and seeded source-sampling for large ones — the standard
 estimator in topology-measurement studies.
+
+Every function accepts either a mutable :class:`Graph` or a frozen
+:class:`CompactGraph`; mutable input is frozen once up front and the
+kernels run level-synchronous BFS over the CSR arrays, indexing dense
+integer lists instead of hashing node labels.  Callers looping over
+many traversals should freeze once and pass the compact view.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
-from collections.abc import Iterable
 
+from repro.graph.compact import CompactGraph
 from repro.graph.digraph import Graph, Node
 
 
-def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
-    """Hop distance from ``source`` to every reachable vertex."""
-    dist: dict[Node, int] = {source: 0}
-    frontier: deque[Node] = deque([source])
+def _bfs_levels(compact: CompactGraph, source_index: int) -> list[int]:
+    """Hop distance per vertex index from ``source_index`` (-1 = unreached).
+
+    Level-synchronous over the cached neighbour sets: each level is the
+    union of the frontier's neighbourhoods minus everything visited, so
+    the per-edge work happens inside C set operations rather than a
+    Python loop.
+    """
+    nbrs = compact.neighbor_sets()
+    dist = [-1] * len(compact.labels)
+    dist[source_index] = 0
+    visited = {source_index}
+    frontier = {source_index}
+    level = 0
     while frontier:
-        u = frontier.popleft()
-        du = dist[u]
-        for v in graph.neighbors(u):
-            if v not in dist:
-                dist[v] = du + 1
-                frontier.append(v)
+        level += 1
+        nxt: set[int] = set()
+        for u in frontier:
+            nxt |= nbrs[u]
+        nxt -= visited
+        for v in nxt:
+            dist[v] = level
+        visited |= nxt
+        frontier = nxt
     return dist
 
 
-def connected_components(graph: Graph) -> list[set[Node]]:
-    """All connected components, largest first."""
-    seen: set[Node] = set()
-    components: list[set[Node]] = []
-    for start in graph.nodes():
-        if start in seen:
+def bfs_distances(graph: Graph | CompactGraph, source: Node) -> dict[Node, int]:
+    """Hop distance from ``source`` to every reachable vertex.
+
+    Raises ``KeyError`` when ``source`` is not a vertex of the graph.
+    """
+    compact = graph.freeze()
+    source_index = compact.index_of.get(source)
+    if source_index is None:
+        raise KeyError(f"no node {source!r}")
+    dist = _bfs_levels(compact, source_index)
+    labels = compact.labels
+    return {labels[i]: d for i, d in enumerate(dist) if d >= 0}
+
+
+def _component_index_lists(compact: CompactGraph) -> list[list[int]]:
+    """Connected components as vertex-index lists, largest first."""
+    n = len(compact.labels)
+    adj = compact.adjacency_lists()
+    seen = bytearray(n)
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
             continue
-        comp = set(bfs_distances(graph, start))
-        seen |= comp
+        seen[start] = 1
+        comp = [start]
+        frontier = [start]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adj[u]:
+                    if not seen[v]:
+                        seen[v] = 1
+                        comp.append(v)
+                        nxt.append(v)
+            frontier = nxt
         components.append(comp)
     components.sort(key=len, reverse=True)
     return components
 
 
-def largest_component(graph: Graph) -> Graph:
+def connected_components(graph: Graph | CompactGraph) -> list[set[Node]]:
+    """All connected components, largest first."""
+    compact = graph.freeze()
+    labels = compact.labels
+    return [
+        {labels[i] for i in comp} for comp in _component_index_lists(compact)
+    ]
+
+
+def largest_component(graph: Graph | CompactGraph) -> Graph:
     """The induced subgraph on the largest connected component."""
     comps = connected_components(graph)
     if not comps:
         return Graph()
-    return graph.subgraph(comps[0])
+    mutable = graph if isinstance(graph, Graph) else graph.thaw()
+    return mutable.subgraph(comps[0])
 
 
 def average_shortest_path_length(
-    graph: Graph,
+    graph: Graph | CompactGraph,
     *,
     sample_sources: int | None = None,
     seed: int = 0,
+    exact_below: int = 0,
 ) -> float:
     """Mean pairwise hop distance within the largest component.
 
     With ``sample_sources`` set, runs BFS from that many uniformly sampled
     sources (seeded) instead of from every vertex; the estimate is unbiased
-    for the mean over (sampled source, any target) pairs.  Returns 0.0 for
-    graphs with fewer than two connected vertices.
+    for the mean over (sampled source, any target) pairs, with standard
+    error sigma_L / sqrt(sample_sources) where sigma_L is the per-source
+    spread of mean distances.  ``exact_below`` disables sampling when the
+    largest component has fewer vertices than the threshold, so small
+    graphs are always exact.  Returns 0.0 for graphs with fewer than two
+    connected vertices.
     """
-    lcc = largest_component(graph)
-    nodes = list(lcc.nodes())
-    if len(nodes) < 2:
+    compact = graph.freeze()
+    comps = _component_index_lists(compact)
+    if not comps or len(comps[0]) < 2:
         return 0.0
-    if sample_sources is not None and sample_sources < len(nodes):
+    component = comps[0]
+    if (
+        sample_sources is not None
+        and len(component) >= exact_below
+        and sample_sources < len(component)
+    ):
         rng = random.Random(seed)
-        sources: Iterable[Node] = rng.sample(nodes, sample_sources)
+        sources = rng.sample(component, sample_sources)
     else:
-        sources = nodes
+        sources = component
+    nbrs = compact.neighbor_sets()
     total = 0
     pairs = 0
     for s in sources:
-        dist = bfs_distances(lcc, s)
-        total += sum(dist.values())  # includes d(s,s)=0
-        pairs += len(dist) - 1
+        # Distance values are never materialised per vertex: each BFS
+        # level contributes level * |level frontier| to the total.
+        visited = {s}
+        frontier = {s}
+        level = 0
+        while frontier:
+            level += 1
+            nxt: set[int] = set()
+            for u in frontier:
+                nxt |= nbrs[u]
+            nxt -= visited
+            total += level * len(nxt)
+            pairs += len(nxt)
+            visited |= nxt
+            frontier = nxt
     if pairs == 0:
         return 0.0
     return total / pairs

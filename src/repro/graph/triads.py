@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph.compact import CompactDigraph
 from repro.graph.digraph import DiGraph
 
 
@@ -33,13 +34,15 @@ class DyadCensus:
         return self.mutual / connected if connected else 0.0
 
 
-def dyad_census(graph: DiGraph) -> DyadCensus:
+def dyad_census(graph: DiGraph | CompactDigraph) -> DyadCensus:
     """Count mutual / asymmetric / null dyads."""
-    n = graph.num_nodes
+    compact = graph.freeze()
+    n = compact.num_nodes
+    keys = compact.edge_keys()
     mutual = 0
     asymmetric = 0
-    for u, v in graph.edges():
-        if graph.has_edge(v, u):
+    for key in keys:
+        if (key % n) * n + key // n in keys:
             mutual += 1  # counted once per direction; halved below
         else:
             asymmetric += 1
@@ -65,24 +68,27 @@ class TriangleCensus:
         return self.cyclic + self.transitive
 
 
-def triangle_census(graph: DiGraph) -> TriangleCensus:
+def triangle_census(graph: DiGraph | CompactDigraph) -> TriangleCensus:
     """Count cyclic and transitive directed triangles.
 
     A triple may contribute several triangles when dyads are mutual;
     each directed 3-edge configuration is counted once.
     """
+    compact = graph.freeze()
+    n = compact.num_nodes
+    keys = compact.edge_keys()
+    succ_sets = compact.succ_sets()
     cyclic = 0
     transitive = 0
-    for u in graph.nodes():
-        for v in graph.successors(u):
-            if v == u:
-                continue
-            for w in graph.successors(v):
+    for u in range(n):
+        base_u = u * n
+        for v in succ_sets[u]:
+            for w in succ_sets[v]:
                 if w == u or w == v:
                     continue
-                if graph.has_edge(w, u):
+                if w * n + u in keys:
                     cyclic += 1
-                if graph.has_edge(u, w):
+                if base_u + w in keys:
                     transitive += 1
     # every cyclic triangle u->v->w->u is found at 3 rotations
     return TriangleCensus(cyclic=cyclic // 3, transitive=transitive)

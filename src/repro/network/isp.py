@@ -145,6 +145,9 @@ class IspDatabase:
                 raise ValueError(f"overlapping blocks: {prev_name} / {name}")
         self._starts = [r[0] for r in ranges]
         self._ranges = ranges
+        # memoised lookups: analytics resolve the same addresses for
+        # every observation window, and the block table never changes
+        self._cache: dict[int, str | None] = {}
 
     @property
     def isps(self) -> tuple[Isp, ...]:
@@ -157,13 +160,17 @@ class IspDatabase:
 
     def lookup(self, address: int) -> str | None:
         """ISP name owning ``address``, or None if unmapped."""
+        cache = self._cache
+        if address in cache:
+            return cache[address]
+        result: str | None = None
         idx = bisect.bisect_right(self._starts, address) - 1
-        if idx < 0:
-            return None
-        start, last, name = self._ranges[idx]
-        if start <= address <= last:
-            return name
-        return None
+        if idx >= 0:
+            start, last, name = self._ranges[idx]
+            if start <= address <= last:
+                result = name
+        cache[address] = result
+        return result
 
     def is_china(self, address: int) -> bool:
         """True when ``address`` maps to a China ISP."""

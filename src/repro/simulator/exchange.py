@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.network.latency import LatencyModel
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
@@ -59,6 +60,21 @@ class RoundStats:
         if not viewers:
             return 0.0
         return self.per_channel_satisfied.get(channel_id, 0) / viewers
+
+
+class ChannelConsts(NamedTuple):
+    """Per-channel protocol constants, derived once instead of per call.
+
+    Every float here is computed with exactly the expression the call
+    sites used inline, so cached and uncached runs are bit-identical.
+    """
+
+    rate_kbps: float
+    request_cap: float  # cfg.request_cap_kbps(rate)
+    demand: float  # cfg.demand_kbps(rate)
+    demand_standby: float  # demand * cfg.standby_surplus
+    cap06: float  # 0.6 * request_cap
+    neutral_hi: float  # max(cap06, cfg.min_useful_link_kbps)
 
 
 class ExchangeEngine:
@@ -94,6 +110,29 @@ class ExchangeEngine:
         self.rng = random.Random(seed)
         # links are mutual; last_active is tracked via Link.established_at
         # updates inside _record_transfer.
+        # Channel rate and config are fixed for a run, so the per-channel
+        # derived constants (request cap, demand budget, fresh-link
+        # floors) are computed once here instead of in every hot call.
+        self._channel_consts: dict[int, ChannelConsts] = {}
+
+    def _consts(self, channel_id: int) -> ChannelConsts:
+        """Cached per-channel protocol constants."""
+        consts = self._channel_consts.get(channel_id)
+        if consts is None:
+            cfg = self.config
+            rate = self.catalogue.get(channel_id).rate_kbps
+            cap = cfg.request_cap_kbps(rate)
+            cap06 = 0.6 * cap
+            consts = ChannelConsts(
+                rate_kbps=rate,
+                request_cap=cap,
+                demand=cfg.demand_kbps(rate),
+                demand_standby=cfg.demand_kbps(rate) * cfg.standby_surplus,
+                cap06=cap06,
+                neutral_hi=max(cap06, cfg.min_useful_link_kbps),
+            )
+            self._channel_consts[channel_id] = consts
+        return consts
 
     # -- partnership management ---------------------------------------------
 
@@ -136,16 +175,12 @@ class ExchangeEngine:
         # *below* proven-good links (else the steady inbound-partner churn
         # makes request priority thrash across unproven links every round),
         # but high enough to be tried when proven links under-deliver.
-        rate = self.catalogue.get(a.channel_id).rate_kbps
         # ... and never below the useful-link floor: the demand budget
         # counts every supplier as contributing at least min_useful, so
         # starting fresh links lower would make peers over-provision past
         # the Fig. 4(B) indegree ceiling.
         neutral = min(
-            max(
-                0.6 * self.config.request_cap_kbps(rate),
-                self.config.min_useful_link_kbps,
-            ),
+            self._consts(a.channel_id).neutral_hi,
             quality.throughput_kbps * 0.5,
         )
         link_ab.est_kbps = neutral
@@ -247,11 +282,15 @@ class ExchangeEngine:
     def _rtt_penalty(rtt_ms: float) -> float:
         """Quadratic RTT penalty: UUSee measures round-trip delay per
         connection and strongly prefers nearby (in practice intra-ISP)
-        partners; block requests over high-RTT paths also pipeline badly."""
+        partners; block requests over high-RTT paths also pipeline badly.
+
+        Hot paths read the precomputed ``Link.penalty`` (same formula,
+        fixed at link establishment) instead of calling this.
+        """
         return 1.0 + (rtt_ms / 60.0) ** 2
 
     def _candidate_score(self, peer: Peer, pid: int, link: Link) -> float:
-        score = link.est_kbps / self._rtt_penalty(link.rtt_ms)
+        score = link.est_kbps / link.penalty
         other = self.peers.get(pid)
         if other is not None and peer.peer_id in other.suppliers:
             # mutual exchange preference
@@ -263,34 +302,50 @@ class ExchangeEngine:
         if peer.is_server:
             return
         cfg = self.config
-        rate = self.catalogue.get(peer.channel_id).rate_kbps
-        demand = cfg.demand_kbps(rate) * cfg.standby_surplus
-        cap = cfg.request_cap_kbps(rate)
+        consts = self._consts(peer.channel_id)
+        demand = consts.demand_standby
+        cap = consts.request_cap
+        peers_get = self.peers.get
+        policy = self.policy
+        peer_id = peer.peer_id
+        bonus1 = 1.0 + cfg.reciprocation_bonus
 
         candidates: list[tuple[float, int, Link]] = []
-        for pid, link in peer.partners.items():
-            other = self.peers.get(pid)
-            if other is None:
-                continue
-            if self.policy is SelectionPolicy.TREE:
-                if other.depth >= peer.depth and not other.is_server:
+        if policy is SelectionPolicy.UUSEE:
+            # Inlined _candidate_score: this loop dominates selection cost.
+            for pid, link in peer.partners.items():
+                other = peers_get(pid)
+                if other is None:
                     continue
-                score = link.est_kbps / self._rtt_penalty(link.rtt_ms)
-            elif self.policy is SelectionPolicy.RANDOM:
-                score = self.rng.random()
-            else:
-                score = self._candidate_score(peer, pid, link)
-            candidates.append((score, pid, link))
+                score = link.est_kbps / link.penalty
+                if peer_id in other.suppliers:
+                    score *= bonus1
+                candidates.append((score, pid, link))
+        else:
+            for pid, link in peer.partners.items():
+                other = peers_get(pid)
+                if other is None:
+                    continue
+                if policy is SelectionPolicy.TREE:
+                    if other.depth >= peer.depth and not other.is_server:
+                        continue
+                    score = link.est_kbps / link.penalty
+                elif policy is SelectionPolicy.RANDOM:
+                    score = self.rng.random()
+                else:
+                    score = self._candidate_score(peer, pid, link)
+                candidates.append((score, pid, link))
         candidates.sort(key=lambda t: (-t[0], t[1]))
 
+        min_useful = cfg.min_useful_link_kbps
+        max_active = cfg.max_active_suppliers
         chosen: set[int] = set()
         expected = 0.0
         for _, pid, link in candidates:
-            if expected >= demand or len(chosen) >= cfg.max_active_suppliers:
+            if expected >= demand or len(chosen) >= max_active:
                 break
-            contribution = max(
-                cfg.min_useful_link_kbps, self._expected_link_rate(link, cap)
-            )
+            est = link.est_kbps
+            contribution = max(min_useful, est if est < cap else cap)
             chosen.add(pid)
             expected += contribution
         peer.suppliers = chosen
@@ -305,9 +360,9 @@ class ExchangeEngine:
         if peer.is_server:
             return
         cfg = self.config
-        rate = self.catalogue.get(peer.channel_id).rate_kbps
-        demand = cfg.demand_kbps(rate) * cfg.standby_surplus
-        cap = cfg.request_cap_kbps(rate)
+        consts = self._consts(peer.channel_id)
+        demand = consts.demand_standby
+        cap = consts.request_cap
 
         # Drop dead suppliers and those measured below the useful floor.
         for pid in list(peer.suppliers):
@@ -322,7 +377,7 @@ class ExchangeEngine:
         # history (a checkpoint round-trip rebuilds the set and may
         # change raw iteration order).
         expected = sum(
-            self._expected_link_rate(peer.partners[pid], cap)
+            min(peer.partners[pid].est_kbps, cap)
             for pid in sorted(peer.suppliers)
             if pid in peer.partners
         )
@@ -359,9 +414,8 @@ class ExchangeEngine:
                 break
             link = peer.partners[pid]
             peer.suppliers.add(pid)
-            expected += max(
-                cfg.min_useful_link_kbps, self._expected_link_rate(link, cap)
-            )
+            est = link.est_kbps
+            expected += max(cfg.min_useful_link_kbps, est if est < cap else cap)
 
     # -- maintenance tick -------------------------------------------------------
 
@@ -392,12 +446,11 @@ class ExchangeEngine:
         eventually re-probed.  Without recovery, a transiently congested
         supplier would never be tried again even after it drained.
         """
-        rate = self.catalogue.get(peer.channel_id).rate_kbps
-        cap = self.config.request_cap_kbps(rate)
+        cap06 = self._consts(peer.channel_id).cap06
         for link in peer.partners.values():
             # recover only to the conservative fresh-link level: a link
             # must re-earn a top rank through measured delivery
-            target = min(0.6 * cap, 0.7 * link.cap_kbps)
+            target = min(cap06, 0.7 * link.cap_kbps)
             if link.est_kbps < target:
                 link.est_kbps += 0.2 * (target - link.est_kbps)
 
@@ -497,36 +550,39 @@ class ExchangeEngine:
         stats = RoundStats(time=now)
 
         # Pass 1: each viewer requests from its suppliers.
+        # Request priority follows the selection score (measured
+        # throughput discounted by RTT): low-RTT — in practice
+        # intra-ISP — links are drawn on first, so they are the ones
+        # that become *active*, exactly the paper's explanation of
+        # ISP clustering (Sec. 4.2.3).  The RANDOM ablation removes
+        # the bias here too (stable pseudo-random order per link).
+        blind = self.policy is SelectionPolicy.RANDOM
+        link_faults = self.faults.has_link_faults
+        min_useful = cfg.min_useful_link_kbps
+        peers = self.peers
         requests: dict[int, list[tuple[Peer, Link, float]]] = {}
-        for peer in self.peers.values():
+        for peer in peers.values():
             if peer.is_server:
                 continue
-            rate = self.catalogue.get(peer.channel_id).rate_kbps
-            cap = cfg.request_cap_kbps(rate)
-            remaining = cfg.demand_kbps(rate)
+            consts = self._consts(peer.channel_id)
+            cap = consts.request_cap
+            remaining = consts.demand
             dead: list[int] = []
-            # Request priority follows the selection score (measured
-            # throughput discounted by RTT): low-RTT — in practice
-            # intra-ISP — links are drawn on first, so they are the ones
-            # that become *active*, exactly the paper's explanation of
-            # ISP clustering (Sec. 4.2.3).  The RANDOM ablation removes
-            # the bias here too (stable pseudo-random order per link).
-            blind = self.policy is SelectionPolicy.RANDOM
-            link_faults = self.faults.has_link_faults
             supplier_links: list[tuple[float, int, Link]] = []
+            partners_get = peer.partners.get
             for pid in peer.suppliers:
-                link = peer.partners.get(pid)
-                if link is None or pid not in self.peers:
+                link = partners_get(pid)
+                if link is None or pid not in peers:
                     dead.append(pid)
                     continue
                 if link_faults and self.faults.link_blocked(
-                    peer.isp, self.peers[pid].isp, now
+                    peer.isp, peers[pid].isp, now
                 ):
                     continue  # partitioned away this round; keep the link
                 if blind:
                     priority = float(hash((peer.peer_id, pid)) % 1_000_003)
                 else:
-                    priority = link.est_kbps / self._rtt_penalty(link.rtt_ms)
+                    priority = link.est_kbps / link.penalty
                 supplier_links.append((priority, pid, link))
             for pid in dead:
                 peer.suppliers.discard(pid)
@@ -543,19 +599,24 @@ class ExchangeEngine:
                 # peer whose suppliers under-deliver keeps asking further
                 # suppliers, up to demand / min_useful ~= 23 of them — the
                 # emergent indegree ceiling of Fig. 4(B).
-                remaining -= min(req, max(link.est_kbps, cfg.min_useful_link_kbps))
+                est = link.est_kbps
+                budget = est if est > min_useful else min_useful
+                remaining -= req if req < budget else budget
 
         # Pass 2: suppliers allocate capacity, preferring mutual exchangers.
+        bonus1 = 1.0 + cfg.reciprocation_bonus
         received: dict[int, float] = {}
         for supplier_id, reqs in requests.items():
-            supplier = self.peers.get(supplier_id)
+            supplier = peers.get(supplier_id)
             if supplier is None:
                 continue
+            supplier_suppliers = supplier.suppliers
             weights: list[float] = []
             for requester, _, req in reqs:
-                mutual = requester.peer_id in supplier.suppliers
                 weights.append(
-                    req * (1.0 + cfg.reciprocation_bonus if mutual else 1.0)
+                    req * bonus1
+                    if requester.peer_id in supplier_suppliers
+                    else req
                 )
             total_weighted = sum(weights)
             total_requested = sum(req for _, _, req in reqs)
@@ -596,26 +657,29 @@ class ExchangeEngine:
             supplier.sent_rate_kbps = sent_total
 
         # Suppliers with no requests this round sent nothing.
-        for peer in self.peers.values():
+        for peer in peers.values():
             if peer.peer_id not in requests:
                 peer.sent_rate_kbps = 0.0
 
         # Pass 3: viewer-side accounting (health, buffer, depth, stats).
-        for peer in self.peers.values():
+        hs = cfg.health_smoothing
+        one_minus_hs = 1.0 - hs
+        window_s = 120.0 * cfg.segment_seconds
+        segments_advanced = int(duration / cfg.segment_seconds)
+        received_get = received.get
+        for peer in peers.values():
             if peer.is_server:
                 continue
-            rate = self.catalogue.get(peer.channel_id).rate_kbps
-            got = received.get(peer.peer_id, 0.0)
+            rate = self._consts(peer.channel_id).rate_kbps
+            got = received_get(peer.peer_id, 0.0)
             peer.recv_rate_kbps = got
             ratio = min(1.0, got / rate) if rate else 0.0
-            hs = cfg.health_smoothing
-            peer.health = (1.0 - hs) * peer.health + hs * ratio
-            window_s = 120.0 * cfg.segment_seconds
+            peer.health = one_minus_hs * peer.health + hs * ratio
             peer.buffer_fill = min(
                 1.0,
                 max(0.0, peer.buffer_fill + (got - rate) * duration / (rate * window_s)),
             )
-            peer.playback_position += int(duration / cfg.segment_seconds)
+            peer.playback_position += segments_advanced
             self._update_depth(peer)
             stats.viewers += 1
             stats.total_received_kbps += got
@@ -652,7 +716,7 @@ class ExchangeEngine:
         now: float,
     ) -> None:
         cfg = self.config
-        stream_rate = self.catalogue.get(requester.channel_id).rate_kbps
+        stream_rate = self._consts(requester.channel_id).rate_kbps
         segment_kbit = stream_rate * cfg.segment_seconds
         segments = rate_kbps * duration / segment_kbit
         requester_link.recv_segments += segments

@@ -20,6 +20,7 @@ class Link:
         "rtt_ms",
         "cap_kbps",
         "est_kbps",
+        "penalty",
         "sent_segments",
         "recv_segments",
         "reported_sent",
@@ -42,11 +43,28 @@ class Link:
         # Initial throughput estimate: optimistic half the ceiling, so new
         # links get tried; measurement then corrects it.
         self.est_kbps = cap_kbps * 0.5
+        # Quadratic RTT selection penalty, fixed for the link's lifetime
+        # (RTT never changes after establishment) — precomputed so the
+        # per-round scoring loops pay one attribute read, not an
+        # exponentiation.
+        self.penalty = 1.0 + (rtt_ms / 60.0) ** 2
         self.sent_segments = 0.0  # cumulative, this endpoint -> partner
         self.recv_segments = 0.0  # cumulative, partner -> this endpoint
         self.reported_sent = 0.0  # snapshot at last trace report
         self.reported_recv = 0.0
         self.established_at = established_at
+
+    def __setstate__(
+        self, state: tuple[dict[str, float] | None, dict[str, float]]
+    ) -> None:
+        # Checkpoints pickle Links with the default slots protocol; ones
+        # written before the ``penalty`` slot existed lack it, so derive
+        # it from the restored RTT.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        if "penalty" not in slots:
+            self.penalty = 1.0 + (self.rtt_ms / 60.0) ** 2
 
     def observe_throughput(self, achieved_kbps: float, smoothing: float) -> None:
         """Blend a measured per-round rate into the selection estimate."""

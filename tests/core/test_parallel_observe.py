@@ -1,0 +1,90 @@
+"""Parallel snapshot analytics: byte-identity and failure modes.
+
+``observe(..., workers=N)`` must produce a series byte-identical to the
+serial path for any worker count — the parallelism is an implementation
+detail, never a semantics change.
+"""
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.core.metrics import average_degrees, peer_counts
+from repro.core.timeseries import observe
+from tests.core.helpers import partner, report
+
+
+def make_reports(windows=6, peers=12, window_seconds=600.0):
+    """A deterministic multi-window stream of reports."""
+    out = []
+    for w in range(windows):
+        t = w * window_seconds + 1.0
+        for ip in range(1, peers + 1):
+            links = [
+                partner(
+                    ((ip + k) % peers) + 1,
+                    sent=5 * (k + 1) + w,
+                    recv=12 + 3 * k + w,
+                )
+                for k in range(3)
+            ]
+            out.append(
+                report(ip, t=t, recv_rate=300.0 + ip + w, partners=links)
+            )
+    return out
+
+
+def series_fingerprint(series):
+    """Canonical byte rendering of a SnapshotSeries for exact comparison."""
+    return json.dumps(
+        {"times": series.times, "values": series.values},
+        sort_keys=True,
+        default=repr,
+    )
+
+
+METRICS = {
+    "counts": peer_counts,
+    "degrees": average_degrees,
+}
+
+
+class TestParallelObserve:
+    def test_byte_identical_to_serial(self):
+        reports = make_reports()
+        serial = observe(reports, METRICS, workers=1)
+        for workers in (2, 3):
+            parallel = observe(reports, METRICS, workers=workers)
+            assert parallel.times == serial.times
+            assert series_fingerprint(parallel) == series_fingerprint(serial)
+
+    def test_observe_every_subsampling_parallel(self):
+        reports = make_reports(windows=8)
+        serial = observe(reports, METRICS, observe_every=1200.0, workers=1)
+        parallel = observe(reports, METRICS, observe_every=1200.0, workers=2)
+        assert series_fingerprint(parallel) == series_fingerprint(serial)
+
+    def test_partial_metrics_are_picklable(self):
+        reports = make_reports(windows=2)
+        metrics = {"counts": partial(peer_counts)}
+        serial = observe(reports, metrics, workers=1)
+        parallel = observe(reports, metrics, workers=2)
+        assert series_fingerprint(parallel) == series_fingerprint(serial)
+
+    def test_lambda_metric_rejected_for_workers(self):
+        reports = make_reports(windows=1)
+        metrics = {"bad": lambda snapshot: 0}
+        with pytest.raises(ValueError, match="picklable"):
+            observe(reports, metrics, workers=2)
+        # ... but fine serially
+        series = observe(reports, metrics, workers=1)
+        assert series.column("bad") == [0]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            observe([], METRICS, workers=0)
+
+    def test_empty_trace_parallel(self):
+        series = observe([], METRICS, workers=2)
+        assert len(series) == 0

@@ -62,6 +62,13 @@ class TestGraph:
         assert g.num_edges == 1
         assert g.has_edge(2, 3)
 
+    def test_remove_missing_node_raises_with_name(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError, match="no node 99"):
+            g.remove_node(99)
+        with pytest.raises(KeyError, match="no node 'ghost'"):
+            g.remove_node("ghost")
+
     def test_edges_each_once(self):
         g = Graph([(1, 2), (2, 3), (3, 1)])
         edges = list(g.edges())
@@ -132,6 +139,11 @@ class TestDiGraph:
         g.remove_node(1)
         assert g.num_edges == 0
         assert g.num_nodes == 2
+
+    def test_remove_missing_node_raises_with_name(self):
+        g = DiGraph([(1, 2)])
+        with pytest.raises(KeyError, match="no node 7"):
+            g.remove_node(7)
 
     def test_to_undirected_collapses_bilateral(self):
         g = DiGraph([(1, 2), (2, 1), (2, 3)])

@@ -102,3 +102,74 @@ class TestAveragePathLength:
         a = average_shortest_path_length(g, sample_sources=10, seed=5)
         b = average_shortest_path_length(g, sample_sources=10, seed=5)
         assert a == b
+
+    def test_exact_below_threshold_ignores_sampling(self):
+        # A component smaller than exact_below is measured exactly even
+        # when sample_sources would otherwise subsample it.
+        g = path_graph(20)
+        exact = average_shortest_path_length(g)
+        gated = average_shortest_path_length(
+            g, sample_sources=4, seed=9, exact_below=64
+        )
+        assert gated == exact
+
+    def test_sampling_applies_at_or_above_threshold(self):
+        g = path_graph(64)
+        exact = average_shortest_path_length(g)
+        sampled = average_shortest_path_length(
+            g, sample_sources=8, seed=2, exact_below=64
+        )
+        assert sampled == pytest.approx(exact, rel=0.5)
+        # with enough sources to cover the component, sampling is a no-op
+        full = average_shortest_path_length(
+            g, sample_sources=64, seed=2, exact_below=64
+        )
+        assert full == exact
+
+
+class TestEdgeCases:
+    def test_bfs_single_node(self):
+        g = Graph()
+        g.add_node("only")
+        assert bfs_distances(g, "only") == {"only": 0}
+
+    def test_bfs_source_not_in_graph(self):
+        g = path_graph(3)
+        with pytest.raises(KeyError, match="no node 99"):
+            bfs_distances(g, 99)
+
+    def test_bfs_source_missing_from_empty_graph(self):
+        with pytest.raises(KeyError):
+            bfs_distances(Graph(), "ghost")
+
+    def test_bfs_fully_disconnected(self):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        assert bfs_distances(g, 2) == {2: 0}
+
+    def test_components_all_isolated(self):
+        g = Graph()
+        for i in range(3):
+            g.add_node(i)
+        comps = connected_components(g)
+        assert sorted(map(tuple, comps)) == [(0,), (1,), (2,)]
+
+    def test_largest_component_tie_prefers_first(self):
+        g = Graph([(0, 1), (2, 3)])
+        lcc = largest_component(g)
+        assert lcc.num_nodes == 2
+
+    def test_apl_disconnected_pairs_excluded(self):
+        # two K2 components: every measured pair is adjacent
+        g = Graph([(0, 1), (2, 3)])
+        assert average_shortest_path_length(g) == pytest.approx(1.0)
+
+    def test_works_on_frozen_input(self):
+        g = path_graph(6)
+        c = g.freeze()
+        assert bfs_distances(c, 0) == bfs_distances(g, 0)
+        assert connected_components(c) == connected_components(g)
+        assert average_shortest_path_length(
+            c
+        ) == average_shortest_path_length(g)

@@ -1,0 +1,59 @@
+"""Draw-identity regression pin for the optimized exchange loop.
+
+The PR-5 exchange optimizations (precomputed link penalties, cached
+per-channel constants, hoisted loop invariants) must not change the RNG
+draw sequence or the produced trace by a single bit.  These constants
+were captured from the pre-optimization engine on the same scenario; if
+either assertion ever fails, an edit changed simulation *behaviour*, not
+just its speed.
+"""
+
+import hashlib
+
+from repro.qa.sanitizer import assert_identical_draws, audited
+from repro.simulator import SystemConfig, UUSeeSystem
+from repro.traces import InMemoryTraceStore
+
+GOLDEN_FLOAT_DRAWS = 19610
+GOLDEN_BIT_DRAWS = 10959
+GOLDEN_FINGERPRINT = (
+    "7c154ac9f1c8ecfc6edda3c8c93d08091a32c7d46c62f48e8f44de4ecd8a33e2"
+)
+GOLDEN_TRACE_SHA = (
+    "f427fd3738d1974c032ec725e19776509a70d8e1f46ed657a44178ce4d92ce79"
+)
+GOLDEN_REPORTS = 356
+
+
+def scenario() -> InMemoryTraceStore:
+    config = SystemConfig(seed=31, base_concurrency=120.0, flash_crowd=None)
+    store = InMemoryTraceStore()
+    system = UUSeeSystem(config, store)
+    system.run(seconds=3 * 3600)
+    return store
+
+
+def trace_sha(store: InMemoryTraceStore) -> str:
+    h = hashlib.sha256()
+    for r in store.reports:
+        h.update(r.to_json().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class TestExchangeGolden:
+    def test_draw_sequence_matches_pre_optimization_engine(self):
+        store, snap = audited(scenario)
+        assert snap.float_draws == GOLDEN_FLOAT_DRAWS
+        assert snap.bit_draws == GOLDEN_BIT_DRAWS
+        assert snap.fingerprint == GOLDEN_FINGERPRINT
+
+    def test_trace_bytes_match_pre_optimization_engine(self):
+        store, _ = audited(scenario)
+        assert len(store.reports) == GOLDEN_REPORTS
+        assert trace_sha(store) == GOLDEN_TRACE_SHA
+
+    def test_replay_is_draw_identical(self):
+        outcomes = assert_identical_draws(scenario, runs=2)
+        (store_a, _), (store_b, _) = outcomes
+        assert trace_sha(store_a) == trace_sha(store_b)

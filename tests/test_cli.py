@@ -249,6 +249,29 @@ class TestObservability:
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"
         }
 
+    def test_analyze_workers_byte_identical(self, cli_trace, capsys):
+        assert main(
+            [
+                "analyze", "--trace", str(cli_trace), "--figure", "fig1",
+                "--json", "--workers", "1",
+            ]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            [
+                "analyze", "--trace", str(cli_trace), "--figure", "fig1",
+                "--json", "--workers", "2",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_analyze_workers_must_be_positive(self, cli_trace, capsys):
+        rc = main(
+            ["analyze", "--trace", str(cli_trace), "--workers", "0"]
+        )
+        assert rc == 2
+        assert "workers" in capsys.readouterr().err
+
     def test_analyze_obs_dir_profiles_analytics(self, cli_trace, tmp_path, capsys):
         obs_dir = tmp_path / "ana-obs"
         rc = main(
