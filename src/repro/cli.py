@@ -1,15 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the whole pipeline:
+Seven subcommands cover the whole pipeline:
 
 - ``simulate`` — run a UUSee deployment and write its Magellan trace;
 - ``run``      — run a crash-safe campaign (segmented trace directory +
-  periodic checkpoints); ``--resume`` continues a killed campaign and
-  ``--obs-dir`` records live metrics/spans while it runs;
+  periodic checkpoints); ``--resume`` continues a killed campaign,
+  ``--obs-dir`` records live metrics/spans while it runs, and
+  ``--ingest`` ships reports over the network to a ``repro serve``
+  ingestion server instead of writing locally;
+- ``serve``    — run the trace ingestion service (UDP + TCP on
+  loopback, crash-tolerant admission, SIGTERM drains gracefully);
 - ``analyze``  — regenerate any paper figure (or all) from a trace file
   or campaign directory, printing series (or ``--json``) and optionally
   exporting CSV;
-- ``info``     — summarise a trace (span, peers, reports, dynamics);
+- ``info``     — summarise a trace (span, peers, reports, dynamics), or
+  query a live ingest server's health with ``--server``;
 - ``obs``      — observability utilities (``obs summarize <dir>``);
 - ``qa``       — determinism & correctness static analysis (the CI gate).
 """
@@ -123,6 +128,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="record observability data (metrics + spans) into this "
         "directory; inspect it with `repro obs summarize`",
     )
+    run.add_argument(
+        "--ingest", metavar="TARGET",
+        help="report to a running `repro serve` instead of a local "
+        "store: HOST:TCP[:UDP] or the path of its --port-file",
+    )
+    run.add_argument(
+        "--ingest-transport", choices=("tcp", "udp"), default="tcp",
+        help="tcp = durable at-least-once with server dedup (default); "
+        "udp = fire-and-forget, the paper's collection semantics",
+    )
+    run.add_argument(
+        "--ingest-loss", type=float, default=0.0, metavar="RATE",
+        help="inject deterministic datagram loss at this rate on the "
+        "reporter's UDP path (accounted, for fault-harness runs)",
+    )
+    run.add_argument(
+        "--ingest-shard", type=int, default=0, metavar="ID",
+        help="reporter shard identity; frames dedup server-side by "
+        "(shard, seq), so every campaign sharing a server needs its "
+        "own shard",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="trace ingestion service: UDP+TCP admission on loopback, "
+        "crash-tolerant storage, graceful SIGTERM drain",
+    )
+    serve.add_argument(
+        "--trace-dir", type=Path, required=True,
+        help="server-side trace directory (crash-recovered if it "
+        "already holds segments + an admission journal)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--tcp-port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument("--udp-port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument(
+        "--port-file", type=Path,
+        help="write the bound ports as one-line JSON once listening "
+        "(the rendezvous for `run --ingest <path>`)",
+    )
+    serve.add_argument(
+        "--segment-records", type=int, default=100_000,
+        help="records per trace segment before rotation",
+    )
+    serve.add_argument(
+        "--compress", action="store_true", help="gzip trace segments"
+    )
+    serve.add_argument(
+        "--queue-high", type=int, default=8_192, metavar="REPORTS",
+        help="admission-queue high watermark (backpressure above)",
+    )
+    serve.add_argument(
+        "--queue-low", type=int, default=2_048, metavar="REPORTS",
+        help="low watermark (resume reading TCP producers below)",
+    )
+    serve.add_argument(
+        "--obs-dir", type=Path,
+        help="record metrics/spans; also enables the METRICS endpoint",
+    )
 
     ana = sub.add_parser("analyze", help="regenerate paper figures from a trace")
     ana.add_argument("--trace", type=Path, required=True)
@@ -155,11 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     info = sub.add_parser("info", help="summarise a trace file")
-    info.add_argument("--trace", type=Path, required=True)
+    info.add_argument("--trace", type=Path)
     info.add_argument(
         "--tolerant",
         action="store_true",
         help="read a dirty trace and print a trace-health summary",
+    )
+    info.add_argument(
+        "--server", metavar="HOST:PORT",
+        help="query a live ingest server's HEALTH instead of a trace",
     )
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -194,6 +262,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_ingest_target(target: str) -> tuple[str, int, int]:
+    """Resolve ``--ingest`` into (host, tcp_port, udp_port).
+
+    Accepts ``HOST:TCP[:UDP]`` or the path of a ``repro serve``
+    ``--port-file`` (a one-line JSON object with ``tcp``/``udp``).
+    """
+    path = Path(target)
+    if path.exists():
+        ports = json.loads(path.read_text(encoding="utf-8"))
+        return "127.0.0.1", int(ports["tcp"]), int(ports["udp"])
+    parts = target.rsplit(":", 2)
+    if len(parts) == 2:
+        host, tcp = parts
+        return host, int(tcp), int(tcp)
+    if len(parts) == 3:
+        host, tcp, udp = parts
+        return host, int(tcp), int(udp)
+    raise ValueError(
+        f"--ingest expects HOST:TCP[:UDP] or a port file, got {target!r}"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     verb = "resuming" if args.resume else "starting"
     print(
@@ -201,6 +291,35 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"concurrency {args.base:.0f} (seed {args.seed}, policy {args.policy}) ..."
     )
     obs = create_observer(args.obs_dir)
+    ingest = None
+    if args.ingest is not None:
+        from repro.ingest.client import ReportClient
+        from repro.ingest.faults import DatagramFaults
+
+        try:
+            host, tcp_port, udp_port = _parse_ingest_target(args.ingest)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        faults = (
+            DatagramFaults(loss_rate=args.ingest_loss)
+            if args.ingest_loss > 0.0
+            else None
+        )
+        ingest = ReportClient(
+            host,
+            tcp_port,
+            udp_port=udp_port,
+            transport=args.ingest_transport,
+            shard_id=args.ingest_shard,
+            faults=faults,
+            seed=args.seed,
+            obs=obs,
+        )
+        print(
+            f"reporting over {args.ingest_transport} to "
+            f"{host}:{tcp_port} (udp {udp_port})"
+        )
     try:
         result = ex.run_campaign(
             args.trace_dir,
@@ -216,6 +335,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             records_per_segment=args.segment_records,
             compress=args.compress,
             fsync_on_flush=args.fsync,
+            ingest=ingest,
             obs=obs,
         )
     except (CheckpointError, FileExistsError) as exc:
@@ -240,6 +360,67 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"(inspect with: repro obs summarize {args.obs_dir})"
         )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.ingest.service import TraceIngestService
+
+    obs = create_observer(args.obs_dir)
+    try:
+        service = TraceIngestService.open(
+            args.trace_dir,
+            records_per_segment=args.segment_records,
+            compress=args.compress,
+            host=args.host,
+            tcp_port=args.tcp_port,
+            udp_port=args.udp_port,
+            queue_high_reports=args.queue_high,
+            queue_low_reports=args.queue_low,
+            obs=obs,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        service.run(
+            port_file=args.port_file,
+            announce=lambda tcp, udp: print(
+                f"ingest listening tcp={tcp} udp={udp} "
+                f"trace-dir={args.trace_dir}",
+                flush=True,
+            ),
+        )
+    finally:
+        if args.obs_dir is not None:
+            finalize_observer(obs, args.obs_dir)
+    health = service.merged_health()
+    print(
+        f"drained: {service.stats.reports_stored} reports stored, "
+        f"{service.stats.reports_shed} shed, "
+        f"{service.stats.frames_quarantined} frames quarantined"
+    )
+    if health.dirty:
+        print(format_trace_health(health, title="ingest health"))
+    return 0
+
+
+def _query_server_health(target: str) -> dict[str, object]:
+    """One HEALTH round-trip against a live ingest server."""
+    import socket
+
+    host, _, port = target.rpartition(":")
+    with socket.create_connection((host or "127.0.0.1", int(port)), timeout=5.0) as sock:
+        sock.sendall(b"HEALTH\n")
+        buf = bytearray()
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            buf += chunk
+    payload = json.loads(buf.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("unexpected HEALTH reply")
+    return payload
 
 
 def _open_trace(path: Path, *, tolerant: bool):
@@ -479,6 +660,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    if args.server is not None:
+        try:
+            payload = _query_server_health(args.server)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot query {args.server}: {exc}", file=sys.stderr)
+            return 2
+        health = payload.get("health")
+        stats = payload.get("stats")
+        rows: list[list[object]] = [
+            ["stored records", payload.get("records", "?")],
+            ["queued reports", payload.get("queued_reports", "?")],
+        ]
+        if isinstance(stats, dict):
+            rows += [[name.replace("_", " "), value] for name, value in sorted(stats.items())]
+        if isinstance(health, dict):
+            rows += [
+                [f"health: {name.replace('_', ' ')}", value]
+                for name, value in sorted(health.items())
+                if value
+            ]
+        print(format_table(
+            ["property", "value"], rows, title=f"ingest server {args.server}"
+        ))
+        return 0
+    if args.trace is None:
+        print("error: info needs --trace or --server", file=sys.stderr)
+        return 2
     if not args.trace.exists():
         print(f"error: no such trace: {args.trace}", file=sys.stderr)
         return 2
@@ -537,6 +745,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_simulate(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "analyze":
         return cmd_analyze(args)
     if args.command == "info":

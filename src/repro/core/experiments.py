@@ -15,6 +15,10 @@ from functools import partial
 from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.ingest.client import ReportClient
 
 from repro.core.metrics import (
     DegreeSummary,
@@ -141,6 +145,7 @@ def run_campaign(
     records_per_segment: int = 100_000,
     compress: bool = False,
     fsync_on_flush: bool = False,
+    ingest: "ReportClient | None" = None,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> CampaignResult:
     """Run a crash-safe campaign: segmented trace + periodic checkpoints.
@@ -158,6 +163,18 @@ def run_campaign(
     ``days`` span — producing the same trace content, draw for draw, as
     a run that was never interrupted.  Resuming without any valid
     checkpoint raises :class:`~repro.simulator.checkpoint.CheckpointError`.
+
+    With ``ingest`` set to a :class:`~repro.ingest.client.ReportClient`,
+    reports ship over the network to a running
+    :class:`~repro.ingest.service.TraceIngestService` instead of a local
+    segment store; the in-flight loss model moves to the real wire, so
+    the in-process coin flip is disabled (``trace_loss_rate=0.0`` — the
+    draw sequence of every other RNG stream is unchanged).  The trace
+    directory then lives server-side; ``trace_dir`` here still anchors
+    the checkpoint directory and the client-side ``health.json``.
+    Resuming an ingest campaign requires passing ``ingest`` again: the
+    checkpoint carries the reporter's pending frames and sequence
+    cursor, and the server deduplicates the replayed resends.
     """
     trace_dir = Path(trace_dir)
     ckpt_dir = (
@@ -172,8 +189,14 @@ def run_campaign(
         protocol=protocol or ProtocolConfig(),
         faults=faults,
     )
+    if ingest is not None:
+        # Loss now happens on the real wire; the in-process coin flip
+        # would double-apply it.  trace_server's RNG stream simply makes
+        # zero draws — every other stream's sequence is untouched.
+        config = dataclasses.replace(config, trace_loss_rate=0.0)
     manager = CheckpointManager(ckpt_dir, keep_last=keep_last)
     resumed_from: int | None = None
+    store: "SegmentedTraceStore | ReportClient"
     if resume:
         found = manager.latest_valid()
         if found is None:
@@ -182,16 +205,19 @@ def run_campaign(
                 "start without --resume to begin a fresh campaign"
             )
         _, state = found
-        store = SegmentedTraceStore.recover(
-            trace_dir, fsync_on_flush=fsync_on_flush, obs=obs
-        )
-        if state["trace_records"] is not None:
-            store.rollback(state["trace_records"])
+        if ingest is not None:
+            store = ingest
+        else:
+            store = SegmentedTraceStore.recover(
+                trace_dir, fsync_on_flush=fsync_on_flush, obs=obs
+            )
+            if state["trace_records"] is not None:
+                store.rollback(state["trace_records"])
         system = UUSeeSystem(config, store, catalogue=catalogue, obs=obs)
         restore_into(system, state)
         resumed_from = system.rounds_completed
     else:
-        store = SegmentedTraceStore(
+        store = ingest if ingest is not None else SegmentedTraceStore(
             trace_dir,
             records_per_segment=records_per_segment,
             compress=compress,
@@ -210,12 +236,20 @@ def run_campaign(
     manager.save(system)  # final cut: a later --resume extends cleanly
     store.close()
     health = TraceHealth()
-    health.merge(store.health)
+    if ingest is not None:
+        # The durable trace lives server-side; the client folds what it
+        # can prove was lost (injected damage, spill overflow, reports
+        # unacked at close) and counts what the server acknowledged.
+        ingest.fold_into(health)
+        trace_records = ingest.stats.reports_acked
+    else:
+        health.merge(store.health)
+        trace_records = len(store)
     system.trace_server.fold_into(health)
     result = CampaignResult(
         trace_dir=trace_dir,
         rounds_completed=system.rounds_completed,
-        trace_records=len(store),
+        trace_records=trace_records,
         resumed_from_round=resumed_from,
         health=health,
     )

@@ -1,0 +1,120 @@
+"""Deterministic datagram-level fault injection for the ingest path.
+
+The paper's reports crossed the public Internet; ours cross loopback,
+which never loses, duplicates or truncates anything.  To prove the
+ingestion service's robustness we therefore inject those faults at the
+transport boundary, with a seeded RNG so every run is replayable —
+the same idiom PR 1's :class:`~repro.traces.faults.FaultyChannel` uses
+on the in-process collection path, moved down to the datagram layer.
+
+Crucially, the injector *counts what it destroys*: a dropped or
+truncated datagram is accounted at the moment of damage, so end-to-end
+reconciliation (client sent == server stored + every counted loss) can
+be asserted exactly, with no "probably lost somewhere" slack.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DatagramFaults:
+    """Per-datagram fault probabilities on the reporter→server path.
+
+    ``loss_rate`` drops the datagram entirely; ``duplicate_rate`` sends
+    an extra copy; ``truncate_rate`` cuts the datagram at a random byte
+    (the server's crc/length checks will quarantine it).  All are
+    independent per-datagram coin flips from one seeded stream.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    truncate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "truncate_rate"):
+            v = getattr(self, name)
+            if not math.isfinite(v) or not 0.0 <= v < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {v}")
+
+    @property
+    def any_active(self) -> bool:
+        """Whether this configuration injects any fault at all."""
+        return bool(self.loss_rate or self.duplicate_rate or self.truncate_rate)
+
+
+@dataclass
+class InjectorCounters:
+    """What the injector did, in datagrams and in the reports they held."""
+
+    offered: int = 0  # datagrams handed to the injector
+    dropped: int = 0  # datagrams destroyed outright
+    dropped_reports: int = 0  # reports inside the destroyed datagrams
+    truncated: int = 0  # datagrams damaged (server will quarantine)
+    truncated_reports: int = 0  # reports inside the damaged datagrams
+    duplicated: int = 0  # extra copies emitted
+
+
+@dataclass
+class FaultDecision:
+    """The injector's verdict for one datagram."""
+
+    payloads: list[bytes] = field(default_factory=list)  # what to send
+    dropped: bool = False
+    truncated: bool = False
+
+
+class DatagramFaultInjector:
+    """Applies :class:`DatagramFaults` to outgoing datagrams.
+
+    The caller hands in each encoded frame with its report count; the
+    injector returns what should actually hit the wire (possibly
+    nothing, possibly two copies, possibly a damaged prefix) and keeps
+    exact counters of every report it destroyed or damaged.
+    """
+
+    def __init__(self, faults: DatagramFaults, *, seed: int = 0) -> None:
+        self.faults = faults
+        self.counters = InjectorCounters()
+        self._rng = random.Random(seed)
+
+    def apply(self, payload: bytes, report_count: int) -> FaultDecision:
+        """Decide the fate of one datagram carrying ``report_count`` reports."""
+        c = self.counters
+        c.offered += 1
+        decision = FaultDecision()
+        f = self.faults
+        if f.loss_rate > 0.0 and self._rng.random() < f.loss_rate:
+            c.dropped += 1
+            c.dropped_reports += report_count
+            decision.dropped = True
+            return decision
+        if f.truncate_rate > 0.0 and self._rng.random() < f.truncate_rate:
+            cut = self._rng.randint(1, max(1, len(payload) - 1))
+            decision.payloads.append(payload[:cut])
+            decision.truncated = True
+            c.truncated += 1
+            c.truncated_reports += report_count
+            return decision
+        decision.payloads.append(payload)
+        if f.duplicate_rate > 0.0 and self._rng.random() < f.duplicate_rate:
+            decision.payloads.append(payload)
+            c.duplicated += 1
+        return decision
+
+    def state(self) -> dict[str, Any]:
+        """Serialisable snapshot (for campaign checkpoints)."""
+        return {
+            "rng": self._rng.getstate(),
+            "counters": vars(self.counters).copy(),
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Restore RNG position and counters from :meth:`state` output."""
+        self._rng.setstate(state["rng"])
+        for name, value in state["counters"].items():
+            setattr(self.counters, name, value)

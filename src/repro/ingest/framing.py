@@ -1,0 +1,162 @@
+"""Wire framing for the trace ingestion service.
+
+A *frame* is one batch of report lines travelling from a reporter shard
+to the ingest server — the unit of admission, acknowledgement, dedup
+and fsync.  The same binary layout is used for a UDP datagram (one
+datagram = one frame) and for the TCP stream (frames back to back)::
+
+    magic   4s   b"MGTI"
+    version B    FRAME_VERSION
+    kind    B    KIND_REPORTS
+    shard   I    reporter shard id (one per campaign process)
+    seq     Q    per-shard batch sequence number, starting at 1
+    count   I    number of report lines in the payload
+    length  I    payload byte length
+    crc32   I    zlib.crc32 of the payload bytes
+    payload      ``count`` JSON report lines joined by b"\\n"
+
+The (shard, seq) pair is the frame's identity: the server admits each
+identity at most once, which turns the client's resend-until-acked loop
+into at-least-once delivery *with* exactly-once storage.  The crc and
+the declared length/count let the server quarantine a truncated or
+bit-damaged datagram instead of parsing garbage — and, on TCP, let it
+skip the damaged payload without losing stream synchronisation.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+#: First bytes of every frame; a TCP connection whose first bytes are
+#: not this magic is a line-oriented query connection instead.
+MAGIC = b"MGTI"
+#: Frame format version.
+FRAME_VERSION = 1
+#: Frame kind carrying report lines (the only kind so far).
+KIND_REPORTS = 1
+
+_HEADER = struct.Struct(">4sBBIQIII")
+#: Fixed byte length of a frame header.
+HEADER_SIZE = _HEADER.size
+
+#: Largest payload the server will admit; bigger frames are quarantined
+#: (oversized datagrams are a classic collector crash vector).
+MAX_PAYLOAD_BYTES = 1 << 20
+#: Absolute cap past which a TCP stream is considered unrecoverable
+#: garbage rather than merely an oversized frame.
+INSANE_PAYLOAD_BYTES = 1 << 24
+
+
+class FrameError(ValueError):
+    """A frame could not be decoded (damage, truncation, bad version)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded batch of report lines from a reporter shard."""
+
+    shard_id: int
+    seq: int
+    lines: tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of report lines carried."""
+        return len(self.lines)
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """A parsed frame header (payload not yet read/verified)."""
+
+    kind: int
+    shard_id: int
+    seq: int
+    count: int
+    payload_len: int
+    crc32: int
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise ``frame`` into header + payload bytes."""
+    payload = "\n".join(frame.lines).encode("utf-8")
+    header = _HEADER.pack(
+        MAGIC,
+        FRAME_VERSION,
+        KIND_REPORTS,
+        frame.shard_id,
+        frame.seq,
+        len(frame.lines),
+        len(payload),
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def parse_header(data: bytes) -> FrameHeader:
+    """Parse and validate the fixed-size header at the start of ``data``.
+
+    Raises :class:`FrameError` on bad magic, unknown version or kind —
+    the caller decides whether that means quarantine (UDP) or stream
+    desynchronisation (TCP).
+    """
+    if len(data) < HEADER_SIZE:
+        raise FrameError(
+            f"short frame header: {len(data)} bytes < {HEADER_SIZE}"
+        )
+    magic, version, kind, shard_id, seq, count, payload_len, crc = (
+        _HEADER.unpack_from(data)
+    )
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if kind != KIND_REPORTS:
+        raise FrameError(f"unknown frame kind {kind}")
+    return FrameHeader(
+        kind=kind,
+        shard_id=shard_id,
+        seq=seq,
+        count=count,
+        payload_len=payload_len,
+        crc32=crc,
+    )
+
+
+def decode_payload(header: FrameHeader, payload: bytes) -> Frame:
+    """Verify ``payload`` against ``header`` and build the frame.
+
+    Raises :class:`FrameError` when the payload is truncated, oversized,
+    fails its checksum, or carries a different line count than declared
+    — exactly the damage a lossy datagram path inflicts.
+    """
+    if header.payload_len > MAX_PAYLOAD_BYTES:
+        raise FrameError(
+            f"oversized frame payload: {header.payload_len} bytes "
+            f"> {MAX_PAYLOAD_BYTES}"
+        )
+    if len(payload) != header.payload_len:
+        raise FrameError(
+            f"truncated frame payload: {len(payload)} bytes, "
+            f"header promises {header.payload_len}"
+        )
+    if zlib.crc32(payload) != header.crc32:
+        raise FrameError("frame payload checksum mismatch")
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"frame payload is not UTF-8: {exc}") from exc
+    lines = tuple(text.split("\n")) if text else ()
+    if len(lines) != header.count:
+        raise FrameError(
+            f"frame carries {len(lines)} lines, header promises {header.count}"
+        )
+    return Frame(shard_id=header.shard_id, seq=header.seq, lines=lines)
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete frame (the UDP datagram path)."""
+    header = parse_header(data)
+    return decode_payload(header, data[HEADER_SIZE:])

@@ -16,7 +16,10 @@ Two implementations ship:
 from __future__ import annotations
 
 import time
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    import asyncio
 
 
 class Clock(Protocol):
@@ -40,6 +43,24 @@ class WallClock:
         # The one audited wall-clock read of the whole obs package: every
         # duration measured anywhere in repro.obs flows through here.
         return time.perf_counter()  # repro: noqa[REP002] the clock seam itself
+
+
+class LoopClock:
+    """A clock reading an asyncio event loop's own monotonic time.
+
+    The ingestion service measures commit latency and backoff windows
+    against the loop it runs on, so those durations stay coherent with
+    everything else the loop schedules — and stay behind this seam
+    rather than touching :mod:`time` directly (REP002 scopes
+    ``ingest/`` into the simulated-time packages).
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        """The event loop's monotonic seconds (arbitrary origin)."""
+        return self._loop.time()
 
 
 class ManualClock:

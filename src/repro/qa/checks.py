@@ -79,8 +79,12 @@ WALL_CLOCK_CALLS = frozenset(
 
 #: Packages whose runtime must be driven purely by simulated time.  The
 #: obs package is scoped in too: its only sanctioned wall-clock read is
-#: the injectable seam in ``repro/obs/clock.py`` (audited noqa).
-SIMULATED_TIME_SEGMENTS = frozenset({"simulator", "traces", "core", "obs"})
+#: the injectable seam in ``repro/obs/clock.py`` (audited noqa).  The
+#: ingest package joins it: timeouts, backoff schedules and commit
+#: timings must flow through the Clock seam (WallClock/LoopClock in
+#: production, ManualClock in tests) so retry and breaker behaviour is
+#: exactly reproducible.
+SIMULATED_TIME_SEGMENTS = frozenset({"simulator", "traces", "core", "obs", "ingest"})
 
 #: RNG methods whose result order depends on the order of their input.
 ORDER_SENSITIVE_RNG_METHODS = frozenset({"choice", "choices", "sample", "shuffle"})

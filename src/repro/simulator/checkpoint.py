@@ -181,6 +181,15 @@ def snapshot_system(
             system.total_departures,
             system.total_crashes,
         ),
+        # Duck-typed: present when the store is an ingest ReportClient
+        # (next seq, pending spill frames, backoff RNG, partial batch),
+        # so a resumed campaign resends the unacked tail and regenerates
+        # identical frame identities for the server to deduplicate.
+        "ingest_client": (
+            store.checkpoint_state()
+            if hasattr(store, "checkpoint_state")
+            else None
+        ),
         # None for the no-op observer; plain dicts otherwise, so resumed
         # campaigns report cumulative metric totals, not restart at zero.
         "obs": system.obs.checkpoint_state(),
@@ -246,6 +255,14 @@ def restore_into(system: UUSeeSystem, state: dict[str, Any]) -> None:
         system.total_departures,
         system.total_crashes,
     ) = state["totals"]
+    ingest_state = state.get("ingest_client")
+    if ingest_state is not None:
+        if not hasattr(store, "restore_checkpoint"):
+            raise CheckpointError(
+                "checkpoint carries ingest reporter state but the resumed "
+                "system's store is not an ingest ReportClient"
+            )
+        store.restore_checkpoint(ingest_state)
     # .get(): checkpoints written before observability existed lack the
     # key; restoring into a no-op observer is itself a no-op.
     system.obs.restore_checkpoint(state.get("obs"))

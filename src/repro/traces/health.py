@@ -31,6 +31,9 @@ class TraceHealth:
     server_dropped: int = 0  # reports lost on the collection path before
     #   the store (the trace server's UDP drop counter), so end-to-end
     #   loss accounting lives in one report
+    spill_overflow: int = 0  # reports evicted from a reporter's bounded
+    #   spill buffer while the ingest server was unreachable — loss on
+    #   the client side of the collection path
 
     @property
     def dirty(self) -> bool:
@@ -42,6 +45,7 @@ class TraceHealth:
             or self.reordered
             or self.quarantined
             or self.server_dropped
+            or self.spill_overflow
         )
 
     def reset(self) -> None:
@@ -62,6 +66,7 @@ class TraceHealth:
         )
         self.quarantined += other.quarantined
         self.server_dropped += other.server_dropped
+        self.spill_overflow += other.spill_overflow
 
     def rows(self) -> list[tuple[str, object]]:
         """(label, value) rows for table rendering."""
@@ -75,4 +80,5 @@ class TraceHealth:
             ("max reorder depth (s)", round(self.max_reorder_depth_s, 1)),
             ("quarantined records", self.quarantined),
             ("server drops (collection)", self.server_dropped),
+            ("spill overflow (reporter)", self.spill_overflow),
         ]

@@ -35,6 +35,7 @@ class TraceServer:
         self._obs = obs
         self.received = 0
         self.dropped = 0
+        self._folded_dropped = 0  # drops already folded into a TraceHealth
 
     def receive(self, report: PeerReport) -> bool:
         """Deliver one UDP report; False if it was lost in flight."""
@@ -52,8 +53,13 @@ class TraceServer:
 
         Storage-level accounting (tolerant readers, segment recovery)
         and collection-level loss then live in one report instead of the
-        drop counter dying unread with the server object.
+        drop counter dying unread with the server object.  Only the
+        drops since the previous fold are added, so periodic folding
+        (a mid-campaign health snapshot plus the final one) never
+        double-counts a loss.
         """
-        health.server_dropped += self.dropped
-        self._obs.count("trace.reports_folded", self.dropped)
+        delta = self.dropped - self._folded_dropped
+        health.server_dropped += delta
+        self._folded_dropped = self.dropped
+        self._obs.count("trace.reports_folded", delta)
         return health

@@ -155,7 +155,14 @@ class JsonlTraceStore:
             self.flush()
 
     def flush(self) -> None:
-        """Push buffered lines to the OS (and to disk when fsyncing)."""
+        """Push buffered lines to the OS (and to disk when fsyncing).
+
+        A no-op after :meth:`close` — teardown paths routinely flush a
+        store that something else (a ``with`` block, a campaign's
+        cleanup) already closed, and close flushed everything anyway.
+        """
+        if self._fh.closed:
+            return
         self._fh.flush()
         if self.fsync_on_flush:
             os.fsync(self._fh.fileno())

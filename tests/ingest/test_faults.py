@@ -1,0 +1,99 @@
+"""Unit tests for the deterministic datagram fault injector."""
+
+import pytest
+
+from repro.ingest import DatagramFaultInjector, DatagramFaults
+
+
+class TestConfig:
+    @pytest.mark.parametrize("field", ["loss_rate", "duplicate_rate", "truncate_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5, float("nan")])
+    def test_rates_validated(self, field, bad):
+        with pytest.raises(ValueError):
+            DatagramFaults(**{field: bad})
+
+    def test_any_active(self):
+        assert not DatagramFaults().any_active
+        assert DatagramFaults(loss_rate=0.1).any_active
+        assert DatagramFaults(duplicate_rate=0.1).any_active
+        assert DatagramFaults(truncate_rate=0.1).any_active
+
+
+class TestDecisions:
+    def test_clean_pass_through(self):
+        injector = DatagramFaultInjector(DatagramFaults(), seed=1)
+        decision = injector.apply(b"payload", 4)
+        assert decision.payloads == [b"payload"]
+        assert not decision.dropped and not decision.truncated
+        assert injector.counters.offered == 1
+
+    def test_certainish_loss_counts_reports(self):
+        injector = DatagramFaultInjector(DatagramFaults(loss_rate=0.999), seed=1)
+        decision = injector.apply(b"payload", 4)
+        assert decision.dropped
+        assert decision.payloads == []
+        assert injector.counters.dropped == 1
+        assert injector.counters.dropped_reports == 4
+
+    def test_truncation_damages_but_sends(self):
+        injector = DatagramFaultInjector(
+            DatagramFaults(truncate_rate=0.999), seed=1
+        )
+        payload = b"x" * 100
+        decision = injector.apply(payload, 3)
+        assert decision.truncated
+        assert len(decision.payloads) == 1
+        assert 1 <= len(decision.payloads[0]) < len(payload)
+        assert injector.counters.truncated_reports == 3
+
+    def test_duplication_emits_two_copies(self):
+        injector = DatagramFaultInjector(
+            DatagramFaults(duplicate_rate=0.999), seed=1
+        )
+        decision = injector.apply(b"payload", 2)
+        assert decision.payloads == [b"payload", b"payload"]
+        assert injector.counters.duplicated == 1
+
+    def test_counters_reconcile_over_many_datagrams(self):
+        faults = DatagramFaults(loss_rate=0.2, duplicate_rate=0.1, truncate_rate=0.1)
+        injector = DatagramFaultInjector(faults, seed=42)
+        sent = destroyed = 0
+        for _ in range(500):
+            decision = injector.apply(b"p" * 50, 5)
+            if decision.dropped or decision.truncated:
+                destroyed += 5
+            else:
+                sent += 5
+        c = injector.counters
+        assert c.offered == 500
+        assert c.dropped_reports + c.truncated_reports == destroyed
+        assert sent == 500 * 5 - destroyed
+        assert c.dropped > 0 and c.truncated > 0 and c.duplicated > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdicts(self):
+        faults = DatagramFaults(loss_rate=0.3, duplicate_rate=0.2, truncate_rate=0.2)
+
+        def run():
+            injector = DatagramFaultInjector(faults, seed=7)
+            return [
+                (d.dropped, d.truncated, len(d.payloads))
+                for d in (injector.apply(b"q" * 40, 2) for _ in range(200))
+            ]
+
+        assert run() == run()
+
+    def test_state_restore_resumes_the_stream(self):
+        faults = DatagramFaults(loss_rate=0.3, truncate_rate=0.2)
+        a = DatagramFaultInjector(faults, seed=9)
+        for _ in range(50):
+            a.apply(b"z" * 30, 1)
+        state = a.state()
+        tail_a = [a.apply(b"z" * 30, 1).dropped for _ in range(50)]
+
+        b = DatagramFaultInjector(faults, seed=0)  # wrong seed on purpose
+        b.restore(state)
+        assert b.counters.offered == 50  # counters rewound to the snapshot
+        tail_b = [b.apply(b"z" * 30, 1).dropped for _ in range(50)]
+        assert tail_a == tail_b

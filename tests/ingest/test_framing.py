@@ -1,0 +1,108 @@
+"""Unit tests for the wire framing: round-trips and every damage mode."""
+
+import struct
+
+import pytest
+
+from repro.ingest import Frame, FrameError, decode_frame, encode_frame
+from repro.ingest.framing import (
+    FRAME_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    decode_payload,
+    parse_header,
+)
+from tests.ingest.helpers import frame_of
+
+
+class TestRoundTrip:
+    def test_encode_decode_identity(self):
+        frame = frame_of(seq=7, count=5, shard=3)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_empty_frame(self):
+        frame = Frame(shard_id=0, seq=1, lines=())
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.count == 0
+        assert decoded == frame
+
+    def test_header_fields_survive(self):
+        frame = frame_of(seq=2**40, count=3, shard=65_000)
+        header = parse_header(encode_frame(frame))
+        assert (header.shard_id, header.seq, header.count) == (65_000, 2**40, 3)
+
+    def test_unicode_payload_survives(self):
+        frame = Frame(shard_id=0, seq=1, lines=('{"note": "报告"}',))
+        assert decode_frame(encode_frame(frame)).lines == frame.lines
+
+
+class TestDamage:
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameError, match="short frame header"):
+            parse_header(b"MGTI\x01")
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_frame(frame_of(1, 1)))
+        data[0:4] = b"XXXX"
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_unknown_version_rejected(self):
+        data = bytearray(encode_frame(frame_of(1, 1)))
+        data[4] = FRAME_VERSION + 1
+        with pytest.raises(FrameError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_kind_rejected(self):
+        data = bytearray(encode_frame(frame_of(1, 1)))
+        data[5] = 99
+        with pytest.raises(FrameError, match="kind"):
+            decode_frame(bytes(data))
+
+    def test_truncated_payload_rejected(self):
+        data = encode_frame(frame_of(1, 3))
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(data[:-10])
+
+    def test_flipped_payload_bit_fails_checksum(self):
+        data = bytearray(encode_frame(frame_of(1, 3)))
+        data[-1] ^= 0x01
+        with pytest.raises(FrameError, match="checksum"):
+            decode_frame(bytes(data))
+
+    def test_wrong_line_count_rejected(self):
+        # Declare one more line than the payload carries, with a crc
+        # recomputed to match — only the count check can catch this.
+        frame = frame_of(1, 2)
+        payload = "\n".join(frame.lines).encode("utf-8")
+        header = parse_header(encode_frame(frame))
+        forged = struct.Struct(">4sBBIQIII").pack(
+            MAGIC, FRAME_VERSION, 1, frame.shard_id, frame.seq,
+            3, len(payload), header.crc32,
+        )
+        with pytest.raises(FrameError, match="lines"):
+            decode_frame(forged + payload)
+
+    def test_oversized_payload_quarantined_before_read(self):
+        header = parse_header(encode_frame(frame_of(1, 1)))
+        import dataclasses
+
+        huge = dataclasses.replace(header, payload_len=MAX_PAYLOAD_BYTES + 1)
+        with pytest.raises(FrameError, match="oversized"):
+            decode_payload(huge, b"")
+
+    def test_non_utf8_payload_rejected(self):
+        payload = b"\xff\xfe garbage"
+        import zlib
+
+        forged = struct.Struct(">4sBBIQIII").pack(
+            MAGIC, FRAME_VERSION, 1, 0, 1, 1, len(payload), zlib.crc32(payload)
+        )
+        with pytest.raises(FrameError, match="UTF-8"):
+            decode_frame(forged + payload)
+
+    def test_header_size_is_stable(self):
+        # The wire format is a compatibility surface: changing the
+        # header layout must be a deliberate, versioned act.
+        assert HEADER_SIZE == struct.calcsize(">4sBBIQIII")

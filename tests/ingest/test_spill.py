@@ -1,0 +1,82 @@
+"""Unit tests for the bounded client-side spill buffer."""
+
+import pytest
+
+from repro.ingest import SpillBuffer
+from tests.ingest.helpers import frame_of
+
+
+class TestBasics:
+    def test_push_ack_pending_order(self):
+        buf = SpillBuffer(max_reports=100)
+        for seq in (1, 2, 3):
+            buf.push(frame_of(seq, 2))
+        assert len(buf) == 3
+        assert buf.report_count == 6
+        assert [f.seq for f in buf.pending()] == [1, 2, 3]
+        acked = buf.ack(2)
+        assert acked is not None and acked.seq == 2
+        assert buf.report_count == 4
+        assert [f.seq for f in buf.pending()] == [1, 3]
+
+    def test_ack_unknown_seq_is_none(self):
+        buf = SpillBuffer(max_reports=10)
+        assert buf.ack(99) is None
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SpillBuffer(max_reports=0)
+
+
+class TestOverflow:
+    def test_oldest_evicted_and_counted(self):
+        buf = SpillBuffer(max_reports=5)
+        for seq in (1, 2, 3):  # 2 reports each; cap 5 forces one eviction
+            buf.push(frame_of(seq, 2))
+        assert [f.seq for f in buf.pending()] == [2, 3]
+        assert buf.report_count == 4
+        assert buf.overflow_reports == 2
+        assert buf.overflow_frames == 1
+
+    def test_single_oversized_frame_is_kept(self):
+        # Eviction never drops the only frame: a frame bigger than the
+        # whole cap stays pending rather than being silently destroyed.
+        buf = SpillBuffer(max_reports=3)
+        buf.push(frame_of(1, 10))
+        assert len(buf) == 1
+        assert buf.overflow_reports == 0
+
+    def test_overflow_accumulates(self):
+        buf = SpillBuffer(max_reports=2)
+        for seq in range(1, 6):
+            buf.push(frame_of(seq, 2))
+        assert buf.overflow_frames == 4
+        assert buf.overflow_reports == 8
+        assert [f.seq for f in buf.pending()] == [5]
+
+
+class TestCheckpointState:
+    def test_state_restore_round_trip(self):
+        buf = SpillBuffer(max_reports=4)
+        for seq in (1, 2, 3):
+            buf.push(frame_of(seq, 2))  # one eviction on the way
+        clone = SpillBuffer.restore(buf.state())
+        assert clone.max_reports == 4
+        assert [f.seq for f in clone.pending()] == [f.seq for f in buf.pending()]
+        assert [f.lines for f in clone.pending()] == [
+            f.lines for f in buf.pending()
+        ]
+        assert clone.overflow_reports == buf.overflow_reports
+        assert clone.overflow_frames == buf.overflow_frames
+
+    def test_restore_does_not_recount_overflow(self):
+        # Rebuilding pending frames via push() must not re-evict or
+        # inflate the historical overflow counters.
+        buf = SpillBuffer(max_reports=4)
+        buf.push(frame_of(1, 4))
+        buf.overflow_reports = 7
+        buf.overflow_frames = 2
+        clone = SpillBuffer.restore(buf.state())
+        assert clone.report_count == 4
+        assert clone.overflow_reports == 7
+        assert clone.overflow_frames == 2

@@ -1,0 +1,13 @@
+"""REP002 negative: ingest timing flows through the injectable clock seam."""
+
+
+class _LoopClock:
+    def __init__(self, loop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.time()
+
+
+def _backoff_deadline(clock: _LoopClock, delay_s: float) -> float:
+    return clock.now() + delay_s

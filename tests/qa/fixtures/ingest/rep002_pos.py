@@ -1,0 +1,17 @@
+"""REP002 positive: raw wall-clock reads in an ingest module.
+
+The ingestion path computes backoff deadlines and commit timings; those
+must flow through the ``repro.obs.clock`` seam (WallClock/LoopClock in
+production, ManualClock in tests), never ``time.*`` directly — a retry
+schedule that reads the host clock cannot be replayed.
+"""
+
+import time
+
+
+def _backoff_deadline(delay_s: float) -> float:
+    return time.monotonic() + delay_s
+
+
+def _commit_started() -> float:
+    return time.perf_counter()

@@ -81,6 +81,26 @@ class TestScoping:
         findings = findings_for(FIXTURES / "obs" / "rep002_neg.py")
         assert [f for f in findings if f.rule_id == "REP002"] == []
 
+    def test_rep002_fires_on_raw_clock_reads_in_ingest(self):
+        # The ingest package is scoped in: backoff deadlines and commit
+        # timings must come from the injectable clock seam.
+        findings = findings_for(FIXTURES / "ingest" / "rep002_pos.py")
+        hits = [f for f in findings if f.rule_id == "REP002"]
+        assert len(hits) == 2, hits
+
+    def test_rep002_ingest_clock_seam_pattern_is_clean(self):
+        findings = findings_for(FIXTURES / "ingest" / "rep002_neg.py")
+        assert [f for f in findings if f.rule_id == "REP002"] == []
+
+    def test_shipped_ingest_package_is_clean(self):
+        # No raw wall-clock reads, no global RNG: the reporter's jitter
+        # comes from a seeded stream and all time flows through Clock.
+        import repro.ingest
+
+        pkg = Path(repro.ingest.__file__).parent
+        findings = scan_paths([pkg]).findings
+        assert findings == [], findings
+
     def test_shipped_obs_package_is_clean(self):
         # The real package's only wall-clock read is the acknowledged
         # seam in repro/obs/clock.py; everything else must stay clean.

@@ -63,6 +63,18 @@ class TestRotation:
         with pytest.raises(TraceStoreClosedError):
             store.append(report_at(1.0))
 
+    def test_close_and_flush_idempotent_after_close(self, tmp_path):
+        # Drain paths (the ingest service's, a campaign's finally
+        # block) may close and flush a store that already sealed; both
+        # must be no-ops that leave the manifest intact.
+        store = SegmentedTraceStore(tmp_path, records_per_segment=5)
+        fill(store, 0, 7)
+        store.close()
+        store.close()
+        store.flush()
+        assert [s.records for s in store.sealed_segments] == [5, 2]
+        assert times(tmp_path) == list(range(7))
+
     def test_gzip_segments_are_deterministic(self, tmp_path):
         paths = []
         for name in ("a", "b"):

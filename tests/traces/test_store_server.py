@@ -67,6 +67,17 @@ class TestJsonlStore:
         store.close()
         store.close()
 
+    def test_flush_after_close_is_a_noop(self, tmp_path):
+        # Teardown paths routinely flush a store something else already
+        # closed (a ``with`` block, a campaign's cleanup); close flushed
+        # everything, so this must not raise on the closed handle.
+        path = tmp_path / "t.jsonl"
+        store = JsonlTraceStore(path)
+        store.append(report_at(1.0))
+        store.close()
+        store.flush()
+        assert len(list(TraceReader(path))) == 1
+
     def test_append_after_close_raises_named_error(self, tmp_path):
         store = JsonlTraceStore(tmp_path / "t.jsonl")
         store.close()
@@ -116,6 +127,23 @@ class TestTraceServer:
         assert health.server_dropped == server.dropped + 3
         assert health.dirty
         assert ("server drops (collection)", health.server_dropped) in health.rows()
+
+    def test_fold_into_is_a_delta_not_a_total(self):
+        # Periodic folding (mid-campaign snapshot + final) must never
+        # double-count: each fold adds only the drops since the last.
+        store = InMemoryTraceStore()
+        server = TraceServer(store, loss_rate=0.5, seed=1)
+        for i in range(100):
+            server.receive(report_at(float(i)))
+        health = TraceHealth()
+        server.fold_into(health)
+        first = health.server_dropped
+        server.fold_into(health)  # nothing new dropped: adds zero
+        assert health.server_dropped == first
+        for i in range(100, 200):
+            server.receive(report_at(float(i)))
+        server.fold_into(health)  # only the second hundred's drops
+        assert health.server_dropped == server.dropped
 
 
 class TestIterWindows:
