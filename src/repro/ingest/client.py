@@ -136,11 +136,11 @@ class ReportClient:
         self._breaker = BREAKER_CLOSED
         self._breaker_opened_at = 0.0
         self._udp_shipped: set[int] = set()  # seqs already degraded to UDP
-        self._sock: socket.socket | None = None
-        self._udp_sock: socket.socket | None = None
-        self._closed = False
-        self._folded_dropped = 0
-        self._folded_overflow = 0
+        self._sock: socket.socket | None = None  # repro: noqa[REP101] live OS handle; reconnected lazily after restore
+        self._udp_sock: socket.socket | None = None  # repro: noqa[REP101] live OS handle; reopened lazily after restore
+        self._closed = False  # repro: noqa[REP101] lifecycle flag; restore targets a live (open) client
+        self._folded_dropped = 0  # repro: noqa[REP101] fold_into() bookkeeping consumed within one process
+        self._folded_overflow = 0  # repro: noqa[REP101] fold_into() bookkeeping consumed within one process
 
     # -- TraceStore surface -------------------------------------------------
 
@@ -449,6 +449,9 @@ class ReportClient:
             "stats": vars(self.stats).copy(),
             "failures": self._failures,
             "breaker": self._breaker,
+            "next_attempt": self._next_attempt,
+            "breaker_opened_at": self._breaker_opened_at,
+            "udp_shipped": sorted(self._udp_shipped),
             "rng": self._rng.getstate(),
             "injector": (
                 self._injector.state() if self._injector is not None else None
@@ -464,6 +467,10 @@ class ReportClient:
             setattr(self.stats, name, value)
         self._failures = state["failures"]
         self._breaker = state["breaker"]
+        # .get(): tolerate checkpoints written before these were captured.
+        self._next_attempt = state.get("next_attempt", 0.0)
+        self._breaker_opened_at = state.get("breaker_opened_at", 0.0)
+        self._udp_shipped = set(state.get("udp_shipped", ()))
         self._rng.setstate(state["rng"])
         if state["injector"] is not None and self._injector is not None:
             self._injector.restore(state["injector"])

@@ -326,7 +326,8 @@ class TraceIngestService:
                 loop.add_signal_handler(signum, self.request_shutdown)
         await self.start()
         if port_file is not None:
-            atomic_write_bytes(
+            await asyncio.to_thread(
+                atomic_write_bytes,
                 Path(port_file),
                 (
                     json.dumps({"tcp": self.tcp_port, "udp": self.udp_port})
@@ -350,9 +351,11 @@ class TraceIngestService:
         await self._queue.put(None)  # writer drains everything before this
         if self._writer_task is not None:
             await self._writer_task
-        self.store.close()
-        self._write_journal()
-        self._publish_summary()
+        # Sealing fsyncs segment and journal files; keep the event loop
+        # responsive (reporter acks, UDP datagrams) while disks catch up.
+        await asyncio.to_thread(self.store.close)
+        await asyncio.to_thread(self._write_journal)
+        await asyncio.to_thread(self._publish_summary)
 
     def _publish_summary(self) -> None:
         """Write the campaign-format health.json plus a metrics snapshot."""

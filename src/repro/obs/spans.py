@@ -139,8 +139,8 @@ class Observer:
         self.registry = MetricsRegistry()
         self._clock: Clock = clock if clock is not None else WallClock()
         self._sink = sink
-        self._sim_clock: Callable[[], float] = _zero_sim_clock
-        self._stack: list[str] = []
+        self._sim_clock: Callable[[], float] = _zero_sim_clock  # repro: noqa[REP101] runtime binding; rebound via bind_sim_clock after restore
+        self._stack: list[str] = []  # repro: noqa[REP101] in-flight span nesting; empty at every checkpoint boundary
 
     @property
     def sink(self) -> EventSink | None:

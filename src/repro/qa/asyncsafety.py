@@ -1,0 +1,220 @@
+"""REP102/REP103: async-safety over the call graph.
+
+REP102 — blocking work on the event loop.  ``os.fsync``, ``time.sleep``,
+sync socket/file I/O and anything that transitively reaches them must
+not run inside ``async def`` without an executor hop.  The check is
+interprocedural: an async function calling a sync helper that three
+frames down calls ``os.fsync`` is flagged at the call site, with the
+chain spelled out.  ``asyncio.to_thread(fn, ...)`` and
+``run_in_executor`` naturally exempt: the hopped function is passed as
+an *argument*, so the call graph has no direct edge into it.
+
+REP103 — dropped awaitables and loop stalls: a coroutine call whose
+result is discarded (never awaited, never scheduled) silently does
+nothing, and an ``await`` while holding a synchronous ``threading``
+lock parks the entire event loop behind a lock other threads contend
+on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.qa.findings import Severity
+from repro.qa.program import CallSite, FunctionInfo, ProgramGraph
+from repro.qa.program_rules import ProgramFinding, ProgramRule, register_program
+
+#: Dotted call targets that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "os.sync",
+        "os.replace",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "urllib.request.urlopen",
+        "open",
+    }
+)
+
+#: Methods that block when invoked on a ``socket.socket``.
+BLOCKING_SOCKET_METHODS = frozenset(
+    {"recv", "recvfrom", "send", "sendall", "sendto", "accept", "connect", "makefile"}
+)
+
+#: ``pathlib.Path`` methods that hit the filesystem synchronously.
+BLOCKING_PATH_METHODS = frozenset(
+    {
+        "write_bytes",
+        "write_text",
+        "read_bytes",
+        "read_text",
+        "open",
+        "replace",
+        "rename",
+        "unlink",
+        "mkdir",
+    }
+)
+
+
+def _blocking_target(target: str | None) -> str | None:
+    """The canonical blocking operation ``target`` performs, if any."""
+    if target is None:
+        return None
+    if target in BLOCKING_CALLS:
+        return target
+    head, _, method = target.rpartition(".")
+    if head == "socket.socket" and method in BLOCKING_SOCKET_METHODS:
+        return target
+    if head == "pathlib.Path" and method in BLOCKING_PATH_METHODS:
+        return target
+    return None
+
+
+class _BlockingIndex:
+    """Memoized 'does this function transitively block?' with witness chains."""
+
+    def __init__(self, graph: ProgramGraph) -> None:
+        self.graph = graph
+        #: qualname -> chain of call descriptions down to the blocking op,
+        #: or None when proven non-blocking.
+        self._memo: dict[str, list[str] | None] = {}
+
+    def chain(self, qualname: str) -> list[str] | None:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        self._memo[qualname] = None  # cycle guard: assume clean while visiting
+        fn = self.graph.functions.get(qualname)
+        if fn is None:
+            return None
+        result: list[str] | None = None
+        for site in fn.calls:
+            direct = _blocking_target(site.target)
+            if direct is not None:
+                result = [direct]
+                break
+            if site.target is None or site.target == qualname:
+                continue
+            callee = self.graph.functions.get(site.target)
+            if callee is None or callee.is_async:
+                continue  # async callees are audited at their own body
+            sub = self.chain(site.target)
+            if sub is not None:
+                result = [_short(site.target), *sub]
+                break
+        self._memo[qualname] = result
+        return result
+
+
+def _short(qualname: str) -> str:
+    """Trailing ``Class.method`` / ``function`` for readable chains."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+@register_program
+class BlockingInAsyncRule(ProgramRule):
+    """REP102: blocking call reachable inside ``async def``."""
+
+    rule_id = "REP102"
+    title = "blocking call reachable from async def"
+    severity = Severity.ERROR
+    rationale = (
+        "A synchronous sleep, fsync or socket/file operation inside a "
+        "coroutine stalls the whole event loop — every connected peer's "
+        "reports queue behind it; hop to a worker thread with "
+        "await asyncio.to_thread(...) instead."
+    )
+
+    def check(self, graph: ProgramGraph) -> Iterable[ProgramFinding]:
+        index = _BlockingIndex(graph)
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            if not fn.is_async:
+                continue
+            yield from self._check_async_fn(graph, index, fn)
+
+    def _check_async_fn(
+        self, graph: ProgramGraph, index: _BlockingIndex, fn: FunctionInfo
+    ) -> Iterator[ProgramFinding]:
+        reported: set[tuple[int, str]] = set()
+        for site in fn.calls:
+            blocking = _describe(graph, index, site)
+            if blocking is None:
+                continue
+            key = (site.line, blocking)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield (
+                fn.path,
+                site.line,
+                site.col,
+                f"async def {fn.name}() reaches blocking {blocking}; hop off "
+                "the event loop with await asyncio.to_thread(...)",
+            )
+
+
+def _describe(
+    graph: ProgramGraph, index: _BlockingIndex, site: CallSite
+) -> str | None:
+    direct = _blocking_target(site.target)
+    if direct is not None:
+        return f"{direct}()"
+    if site.target is None:
+        return None
+    callee = graph.functions.get(site.target)
+    if callee is None or callee.is_async:
+        return None
+    chain = index.chain(site.target)
+    if chain is None:
+        return None
+    return " -> ".join([_short(site.target), *chain]) + "()"
+
+
+@register_program
+class DroppedAwaitableRule(ProgramRule):
+    """REP103: discarded coroutines and awaits under sync locks."""
+
+    rule_id = "REP103"
+    title = "dropped awaitable / await under sync lock"
+    severity = Severity.ERROR
+    rationale = (
+        "Calling a coroutine function without awaiting or scheduling it "
+        "silently does nothing (the body never runs); awaiting while "
+        "holding a threading lock parks the event loop inside a critical "
+        "section other threads contend on."
+    )
+
+    def check(self, graph: ProgramGraph) -> Iterable[ProgramFinding]:
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            for site in fn.calls:
+                if not site.discarded or site.awaited or site.async_wrapped:
+                    continue
+                callee = graph.functions.get(site.target or "")
+                if callee is not None and callee.is_async:
+                    yield (
+                        fn.path,
+                        site.line,
+                        site.col,
+                        f"coroutine {callee.name}() is called but never awaited "
+                        "or scheduled; its body will not run",
+                    )
+            for line, lock in fn.sync_lock_awaits:
+                yield (
+                    fn.path,
+                    line,
+                    0,
+                    f"await while holding synchronous lock {lock}; the event "
+                    "loop stalls inside the critical section — use "
+                    "asyncio.Lock or release before awaiting",
+                )

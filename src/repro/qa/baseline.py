@@ -1,0 +1,99 @@
+"""Baseline (ratchet) support: pre-existing findings don't block, new drift does.
+
+The baseline file is a JSON multiset of finding *fingerprints* —
+``(relative path, rule id, message)`` with line numbers normalised out,
+so editing unrelated code above a blessed finding doesn't invalidate
+it.  Paths are stored relative to the baseline file's own directory
+(the repo root, for the committed ``qa-baseline.json``) and matched
+against findings resolved the same way, so the gate behaves identically
+from any working directory.
+
+Workflow: ``--baseline qa-baseline.json`` filters blessed findings out
+of the gate; ``--update-baseline`` regenerates the file from the
+current scan, which is how an intentional checkpoint-schema change is
+blessed (see DESIGN §5b).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+
+from repro.qa.findings import Finding
+
+#: Filename probed in the working directory when --baseline isn't given.
+DEFAULT_BASELINE_NAME = "qa-baseline.json"
+
+_LINE_REF = re.compile(r"\bline \d+\b")
+
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(finding: Finding, anchor: Path) -> Fingerprint:
+    """Stable identity of a finding, independent of line numbers."""
+    path = Path(finding.path)
+    try:
+        rel = path.resolve().relative_to(anchor.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return (rel, finding.rule_id, _LINE_REF.sub("line ?", finding.message))
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write the findings' fingerprint multiset; returns the entry count."""
+    counts = Counter(fingerprint(f, path.parent) for f in findings)
+    entries = [
+        {"path": p, "rule": rule, "message": message, "count": count}
+        for (p, rule, message), count in sorted(counts.items())
+    ]
+    payload = {"version": 1, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Counter[Fingerprint]:
+    """Read a baseline file into a fingerprint multiset.
+
+    Raises ``ValueError`` on a malformed file — a corrupt baseline must
+    fail the gate loudly, not silently bless everything.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("findings"), list):
+        raise ValueError(f"baseline {path} has no 'findings' list")
+    counts: Counter[Fingerprint] = Counter()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path} has a non-object finding entry")
+        try:
+            key = (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+            count = int(entry.get("count", 1))
+        except KeyError as exc:
+            raise ValueError(f"baseline {path} entry missing {exc}") from exc
+        counts[key] += max(count, 0)
+    return counts
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[Fingerprint], anchor: Path
+) -> tuple[list[Finding], int]:
+    """Split findings into (non-baselined, baselined count).
+
+    Consumes baseline budget per fingerprint: if the baseline blesses
+    two occurrences and the scan now has three, one still gates.
+    """
+    budget = Counter(baseline)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = fingerprint(finding, anchor)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

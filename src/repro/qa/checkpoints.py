@@ -1,0 +1,353 @@
+"""REP101: checkpoint-completeness over snapshot/restore pairs.
+
+A *checkpoint unit* is a pair of functions that serialize and rebuild
+the same object:
+
+* module-level pairs — ``snapshot_*``/``restore_*`` functions (leading
+  underscores ignored) whose first parameter is annotated with the same
+  in-package class, e.g. ``snapshot_system(system: UUSeeSystem)`` /
+  ``restore_into(system: UUSeeSystem, state)``;
+* method pairs — a class exposing ``checkpoint_state``/``state`` next
+  to ``restore_checkpoint``/``restore`` (classmethod restores count).
+
+For every unit the analyzer computes which attributes the pair *covers*
+(read by the snapshot half, written by the restore half, or handed to a
+delegated ``.state()``-style method) and diffs that against every
+attribute the class mutates after construction — fields the simulation
+changes but the checkpoint cannot see are exactly the bugs that make a
+resumed run silently diverge from an uninterrupted one.
+
+Coverage is hierarchical: a bare read (``system.peers``) captures the
+object wholesale (pickle semantics — nothing below it needs checking);
+a method call (``system.engine.clock_state()``) delegates capture to
+that object's own contract; a deeper path (``system.trace_server._rng``)
+covers only the named field, so the intermediate object's *other*
+mutable fields must each be covered too.
+
+The pair's key schema is checked for symmetry as well: top-level string
+keys of the snapshot's returned dict literal versus ``state["..."]`` /
+``state.get("...")`` reads in the restore half.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from repro.qa.findings import Severity
+from repro.qa.program import (
+    RESTORE_PREFIX,
+    SNAPSHOT_PREFIX,
+    Access,
+    ClassInfo,
+    FunctionInfo,
+    ProgramGraph,
+)
+from repro.qa.program_rules import ProgramFinding, ProgramRule, register_program
+
+#: Method names recognised as the snapshot half of a class unit.
+SNAPSHOT_METHODS = ("checkpoint_state", "state")
+#: Method names recognised as the restore half of a class unit.
+RESTORE_METHODS = ("restore_checkpoint", "restore")
+
+_PARTIAL = 1
+_FULL = 2
+
+#: Recursion guard for partial-coverage descent through class hints.
+_MAX_DEPTH = 4
+
+
+@dataclass
+class CheckpointUnit:
+    """One snapshot/restore pair plus the class it serializes."""
+
+    root_class: ClassInfo
+    snapshot: FunctionInfo
+    restore: FunctionInfo
+    snapshot_root: str  # parameter name holding the object in the snapshot half
+    restore_root: str | None  # None for classmethod restores
+    restore_state: str | None  # parameter name holding the state mapping
+
+    @property
+    def label(self) -> str:
+        return f"{self.snapshot.name}/{self.restore.name}"
+
+
+def discover_units(graph: ProgramGraph) -> list[CheckpointUnit]:
+    """Find every checkpoint unit in the graph (deterministic order)."""
+    units: list[CheckpointUnit] = []
+    for module_name in sorted(graph.modules):
+        module = graph.modules[module_name]
+        snaps: list[tuple[FunctionInfo, str, str]] = []  # (fn, param, class qual)
+        restores: list[tuple[FunctionInfo, str, str]] = []
+        for fn_name in sorted(module.functions):
+            fn = module.functions[fn_name]
+            stripped = fn.stripped_name
+            bucket = None
+            if stripped.startswith(SNAPSHOT_PREFIX):
+                bucket = snaps
+            elif stripped.startswith(RESTORE_PREFIX):
+                bucket = restores
+            if bucket is None:
+                continue
+            params = fn.param_names()
+            if not params:
+                continue
+            for qual in fn.param_classes.get(params[0], ()):
+                if qual in graph.classes:
+                    bucket.append((fn, params[0], qual))
+                    break
+        for snap_fn, snap_param, qual in snaps:
+            for restore_fn, restore_param, restore_qual in restores:
+                if restore_qual != qual:
+                    continue
+                params = restore_fn.param_names()
+                state_param = next(
+                    (p for p in params if p != restore_param), None
+                )
+                units.append(
+                    CheckpointUnit(
+                        root_class=graph.classes[qual],
+                        snapshot=snap_fn,
+                        restore=restore_fn,
+                        snapshot_root=snap_param,
+                        restore_root=restore_param,
+                        restore_state=state_param,
+                    )
+                )
+    for class_qual in sorted(graph.classes):
+        cls_info = graph.classes[class_qual]
+        snap_fn = next(
+            (cls_info.methods[m] for m in SNAPSHOT_METHODS if m in cls_info.methods),
+            None,
+        )
+        restore_fn = next(
+            (cls_info.methods[m] for m in RESTORE_METHODS if m in cls_info.methods),
+            None,
+        )
+        if snap_fn is None or restore_fn is None:
+            continue
+        params = restore_fn.param_names()
+        is_classmethod = bool(params) and params[0] == "cls"
+        state_param = next((p for p in params if p not in ("self", "cls")), None)
+        units.append(
+            CheckpointUnit(
+                root_class=cls_info,
+                snapshot=snap_fn,
+                restore=restore_fn,
+                snapshot_root="self",
+                restore_root=None if is_classmethod else "self",
+                restore_state=state_param,
+            )
+        )
+    return units
+
+
+class _Coverage:
+    """Per-class attribute coverage accumulated from both unit halves."""
+
+    def __init__(self, graph: ProgramGraph, root_class: ClassInfo) -> None:
+        self.graph = graph
+        self.root = root_class
+        #: class qualname -> attr name -> _PARTIAL | _FULL
+        self.levels: dict[str, dict[str, int]] = {}
+
+    def _bump(self, class_qual: str, attr: str, level: int) -> None:
+        per_class = self.levels.setdefault(class_qual, {})
+        per_class[attr] = max(per_class.get(attr, 0), level)
+
+    def absorb(self, fn: FunctionInfo, root_param: str) -> None:
+        """Fold one function's accesses (rooted at ``root_param``) in."""
+        for access in fn.accesses:
+            if access.root != root_param or not access.chain:
+                continue
+            self._absorb_access(access)
+
+    def _absorb_access(self, access: Access) -> None:
+        classes: tuple[str, ...] = (self.root.qualname,)
+        chain = access.chain
+        final = len(chain) - 1
+        if access.kind == "methodcall":
+            final -= 1  # last element is the method name, not a field
+        for depth, attr_name in enumerate(chain):
+            if access.base_classes and access.base_depth == depth and depth > 0:
+                classes = access.base_classes
+            if depth > final:
+                break
+            level = _FULL if depth == final else _PARTIAL
+            for qual in classes:
+                if qual in self.graph.classes:
+                    self._bump(qual, attr_name, level)
+            classes = self.graph.chain_classes(classes, (attr_name,))
+            if not classes and not access.base_classes:
+                break
+
+    def missing(self) -> Iterator[tuple[ClassInfo, str]]:
+        """Yield ``(class, attr)`` for every uncovered mutable attribute."""
+        yield from self._check_class(self.root.qualname, set(), 0)
+
+    def _check_class(
+        self, class_qual: str, seen: set[str], depth: int
+    ) -> Iterator[tuple[ClassInfo, str]]:
+        if class_qual in seen or depth > _MAX_DEPTH:
+            return
+        seen.add(class_qual)
+        cls_info = self.graph.classes.get(class_qual)
+        if cls_info is None:
+            return
+        levels = self.levels.get(class_qual, {})
+        mutable = {a.name for a in cls_info.mutable_attrs()}
+        # Partially-covered attributes are descended into even when the
+        # slot itself is immutable: an engine assigned once in __init__
+        # still holds mutable state the pair must account for.
+        partial = {name for name, level in levels.items() if level == _PARTIAL}
+        for attr_name in sorted(mutable | partial):
+            attr = cls_info.attrs.get(attr_name)
+            if attr is None:
+                continue
+            level = levels.get(attr_name, 0)
+            if level >= _FULL:
+                continue
+            if level == _PARTIAL:
+                # Only named sub-fields are captured: the attribute's own
+                # class must have all *its* mutable fields covered too.
+                hinted = [h for h in attr.class_hints if h in self.graph.classes]
+                for hint in hinted:
+                    yield from self._check_class(hint, seen, depth + 1)
+                continue
+            yield cls_info, attr.name
+
+
+@dataclass
+class _KeySchema:
+    """Top-level key usage of one unit's state mapping."""
+
+    captured: dict[str, int] = field(default_factory=dict)  # key -> line
+    restored: dict[str, int] = field(default_factory=dict)
+    #: False when the snapshot half doesn't return a plain dict literal.
+    comparable: bool = True
+
+
+def _captured_keys(fn: FunctionInfo) -> _KeySchema:
+    schema = _KeySchema()
+    returns = [
+        node.value
+        for node in ast.walk(fn.node)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    dicts = [node for node in returns if isinstance(node, ast.Dict)]
+    if not dicts or len(dicts) != len(
+        [r for r in returns if not (isinstance(r, ast.Constant) and r.value is None)]
+    ):
+        schema.comparable = False
+        return schema
+    for node in dicts:
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                schema.captured.setdefault(key.value, key.lineno)
+            else:
+                schema.comparable = False  # **spread / computed key: give up
+    return schema
+
+
+def _consumed_keys(fn: FunctionInfo, state_param: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for access in fn.accesses:
+        if access.kind == "key_read" and access.root == state_param and not access.chain:
+            if access.key is not None:
+                out.setdefault(access.key, access.line)
+    return out
+
+
+def _self_called_methods(
+    graph: ProgramGraph, fn: FunctionInfo, seen: set[str]
+) -> Iterator[FunctionInfo]:
+    """``fn`` plus own-class methods it calls through self (transitively)."""
+    if fn.qualname in seen:
+        return
+    seen.add(fn.qualname)
+    yield fn
+    if fn.class_qual is None:
+        return
+    for access in fn.accesses:
+        if access.kind != "methodcall" or access.root != "self":
+            continue
+        if len(access.chain) != 1:
+            continue
+        callee = graph.lookup_method(fn.class_qual, access.chain[0])
+        if callee is not None:
+            yield from _self_called_methods(graph, callee, seen)
+
+
+@register_program
+class CheckpointCompletenessRule(ProgramRule):
+    """REP101: mutable state invisible to its snapshot/restore pair."""
+
+    rule_id = "REP101"
+    title = "mutable field invisible to checkpoint"
+    severity = Severity.ERROR
+    rationale = (
+        "A field the simulation mutates but snapshot/restore never touches "
+        "makes a resumed run silently diverge from an uninterrupted one; "
+        "every mutable attribute of a checkpointed class must be captured, "
+        "restored, or explicitly suppressed with a reason."
+    )
+
+    def check(self, graph: ProgramGraph) -> Iterable[ProgramFinding]:
+        for unit in discover_units(graph):
+            yield from self._check_unit(graph, unit)
+
+    def _check_unit(
+        self, graph: ProgramGraph, unit: CheckpointUnit
+    ) -> Iterator[ProgramFinding]:
+        coverage = _Coverage(graph, unit.root_class)
+        snap_fns = list(_self_called_methods(graph, unit.snapshot, set()))
+        for fn in snap_fns:
+            root = unit.snapshot_root if fn is unit.snapshot else "self"
+            coverage.absorb(fn, root)
+        if unit.restore_root is not None:
+            for fn in _self_called_methods(graph, unit.restore, set()):
+                root = unit.restore_root if fn is unit.restore else "self"
+                coverage.absorb(fn, root)
+        emitted: set[tuple[str, str]] = set()
+        for cls_info, attr_name in coverage.missing():
+            if (cls_info.qualname, attr_name) in emitted:
+                continue
+            emitted.add((cls_info.qualname, attr_name))
+            attr = cls_info.attrs[attr_name]
+            yield (
+                cls_info.path,
+                attr.first_line or cls_info.node.lineno,
+                0,
+                f"{cls_info.name}.{attr_name} ({attr.evidence()}) is invisible "
+                f"to checkpoint pair {unit.label}; capture it, restore it, or "
+                "suppress with a reason",
+            )
+        yield from self._check_keys(unit)
+
+    def _check_keys(self, unit: CheckpointUnit) -> Iterator[ProgramFinding]:
+        if unit.restore_state is None:
+            return
+        schema = _captured_keys(unit.snapshot)
+        schema.restored = _consumed_keys(unit.restore, unit.restore_state)
+        if not schema.comparable or not schema.captured:
+            return
+        for key in sorted(set(schema.captured) - set(schema.restored)):
+            yield (
+                unit.snapshot.path,
+                schema.captured[key],
+                0,
+                f"checkpoint key '{key}' is captured by {unit.snapshot.name}() "
+                f"but never read by {unit.restore.name}(); dead weight or a "
+                "missing restore",
+            )
+        for key in sorted(set(schema.restored) - set(schema.captured)):
+            yield (
+                unit.restore.path,
+                schema.restored[key],
+                0,
+                f"{unit.restore.name}() reads checkpoint key '{key}' that "
+                f"{unit.snapshot.name}() never captures; restore would KeyError "
+                "or silently default",
+            )

@@ -1,0 +1,60 @@
+"""Registry for whole-program (REP1xx) analysis rules.
+
+Per-file rules (:mod:`repro.qa.rules`) receive one ``ast.Module``;
+program rules receive the resolved :class:`~repro.qa.program.ProgramGraph`
+and may anchor findings in any scanned file.  They share the severity
+model, the ``# repro: noqa[RULE]`` suppression syntax, and the REP000
+unused-suppression audit with the per-file rules.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.qa.findings import Severity
+from repro.qa.program import ProgramGraph
+
+#: (path, line, col, message) — the engine attaches rule id and severity.
+ProgramFinding = tuple[Path, int, int, str]
+
+
+class ProgramRule:
+    """Base class for whole-program rules (REP1xx)."""
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.WARNING
+    rationale: str = ""
+
+    def check(self, graph: ProgramGraph) -> Iterable[ProgramFinding]:
+        """Yield findings over the whole program graph."""
+        raise NotImplementedError
+
+
+#: rule_id -> singleton instance, in registration order.
+_PROGRAM_REGISTRY: dict[str, ProgramRule] = {}
+
+
+def register_program(cls: type[ProgramRule]) -> type[ProgramRule]:
+    """Class decorator: instantiate ``cls`` and add it to the registry."""
+    rule = cls()
+    if not rule.rule_id or rule.rule_id in _PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate or empty program rule id: {rule.rule_id!r}")
+    _PROGRAM_REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_program_rules() -> tuple[ProgramRule, ...]:
+    """Every registered program rule, in rule-id (numeric) order."""
+    # Importing the analyzer modules registers their rules.
+    import repro.qa.asyncsafety  # noqa: F401
+    import repro.qa.checkpoints  # noqa: F401
+    import repro.qa.rngflow  # noqa: F401
+
+    return tuple(rule for _, rule in sorted(_PROGRAM_REGISTRY.items()))
+
+
+def known_program_rule_ids() -> frozenset[str]:
+    """The ids of every registered program rule."""
+    return frozenset(r.rule_id for r in all_program_rules())

@@ -1,0 +1,169 @@
+"""REP104: interprocedural RNG-flow.
+
+The draw-identity contract says every random draw must come from a
+*named, seeded* stream, and the draw order must not depend on hash or
+insertion order.  The per-file rules police one expression at a time
+(REP001 bans the global RNG, REP003 bans ``rng.choice(a_set)``); this
+analyzer follows RNG streams **across function boundaries** through the
+call graph:
+
+* a call site that binds an RNG-consuming parameter (annotated
+  ``random.Random`` or conventionally named ``rng``/``*_rng``) to a
+  fresh unseeded ``random.Random()``, to the global ``random`` module,
+  or to a value whose stream cannot be traced, makes every draw inside
+  the callee unattributable — flagged at the call site;
+* a call site that passes an unordered collection (set literal,
+  ``set(...)``, dict views) into a parameter the callee feeds to an
+  order-sensitive draw (``choice``/``choices``/``sample``/``shuffle``)
+  re-creates REP003 with the set and the draw in different functions —
+  also flagged at the call site, naming both ends.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.qa.checks import ORDER_SENSITIVE_RNG_METHODS, _contains_sorted
+from repro.qa.findings import Severity
+from repro.qa.program import (
+    RANDOM_CLASS,
+    ArgInfo,
+    FunctionInfo,
+    ProgramGraph,
+    is_rng_name,
+)
+from repro.qa.program_rules import ProgramFinding, ProgramRule, register_program
+
+
+def rng_params(fn: FunctionInfo) -> list[str]:
+    """Parameters of ``fn`` that carry an RNG stream."""
+    out = []
+    for param in fn.param_names():
+        if param in ("self", "cls"):
+            continue
+        if RANDOM_CLASS in fn.param_classes.get(param, ()) or is_rng_name(param):
+            out.append(param)
+    return out
+
+
+def order_sensitive_params(fn: FunctionInfo) -> set[str]:
+    """Parameters whose iteration order reaches an order-sensitive draw.
+
+    Purely syntactic on the callee body: the parameter appears (unsorted)
+    inside the candidates argument of ``<stream>.choice/choices/sample/
+    shuffle``.
+    """
+    params = set(fn.param_names())
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ORDER_SENSITIVE_RNG_METHODS or not node.args:
+            continue
+        candidates = node.args[0]
+        if _contains_sorted(candidates):
+            continue
+        for sub in ast.walk(candidates):
+            if isinstance(sub, ast.Name) and sub.id in params:
+                out.add(sub.id)
+    return out
+
+
+def _bind_args(
+    callee: FunctionInfo,
+    site_args: tuple[ArgInfo, ...],
+    site_keywords: dict[str, ArgInfo],
+) -> dict[str, ArgInfo]:
+    """Map a call site's ArgInfo records onto the callee's parameter names."""
+    params = callee.param_names()
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    bound: dict[str, ArgInfo] = {}
+    for param, arg in zip(params, site_args):
+        bound[param] = arg
+    for name, arg in site_keywords.items():
+        if name in params:
+            bound[name] = arg
+    return bound
+
+
+@register_program
+class RngFlowRule(ProgramRule):
+    """REP104: unattributable or order-sensitive RNG flow across calls."""
+
+    rule_id = "REP104"
+    title = "RNG stream unattributable across call boundary"
+    severity = Severity.ERROR
+    rationale = (
+        "Draw identity only holds when every stream entering a function is "
+        "a named seeded random.Random and the candidates it draws over have "
+        "a stable order; an unseeded/global stream or a set passed through "
+        "a call boundary breaks replay in a way neither file shows alone."
+    )
+
+    def check(self, graph: ProgramGraph) -> Iterable[ProgramFinding]:
+        consumers: dict[str, tuple[list[str], set[str]]] = {}
+        for qualname, fn in graph.functions.items():
+            streams = rng_params(fn)
+            unordered = order_sensitive_params(fn)
+            if streams or unordered:
+                consumers[qualname] = (streams, unordered)
+        for qualname in sorted(graph.functions):
+            caller = graph.functions[qualname]
+            yield from self._check_caller(graph, caller, consumers)
+
+    def _check_caller(
+        self,
+        graph: ProgramGraph,
+        caller: FunctionInfo,
+        consumers: dict[str, tuple[list[str], set[str]]],
+    ) -> Iterator[ProgramFinding]:
+        for site in caller.calls:
+            if site.target not in consumers:
+                continue
+            callee = graph.functions[site.target]
+            streams, unordered = consumers[site.target]
+            bound = _bind_args(callee, site.args, site.keywords)
+            for param in streams:
+                arg = bound.get(param)
+                if arg is None:
+                    continue
+                problem = {
+                    "unseeded": (
+                        "a fresh unseeded random.Random() — the stream has no "
+                        "name and no replayable seed"
+                    ),
+                    "global": (
+                        "the global random module — any import can perturb "
+                        "that hidden shared stream"
+                    ),
+                    "opaque": (
+                        f"'{arg.text}', whose stream cannot be traced to a "
+                        "named seeded generator"
+                    ),
+                }.get(arg.rng or "")
+                if problem is not None:
+                    yield (
+                        caller.path,
+                        site.line,
+                        site.col,
+                        f"{caller.name}() passes {problem} into RNG parameter "
+                        f"'{param}' of {callee.name}(); draws inside are "
+                        "unattributable",
+                    )
+            for param in unordered:
+                arg = bound.get(param)
+                if arg is None or arg.unordered is None:
+                    continue
+                if arg.node is not None and _contains_sorted(arg.node):
+                    continue
+                yield (
+                    caller.path,
+                    site.line,
+                    site.col,
+                    f"{caller.name}() passes {arg.unordered} into parameter "
+                    f"'{param}' of {callee.name}(), which feeds it to an "
+                    "order-sensitive draw; iteration order crosses the call "
+                    "boundary unsorted",
+                )

@@ -151,7 +151,7 @@ def snapshot_system(
         "config_token": config_token(system.config),
         "clock": system.engine.clock_state(),
         "rounds_completed": system.rounds_completed,
-        "trace_records": trace_records,
+        "trace_records": trace_records,  # repro: noqa[REP101] consumed by run_campaign's store.rollback, not restore_into
         "peers": system.peers,
         "tracker": system.tracker,
         "arrivals": system.arrivals,

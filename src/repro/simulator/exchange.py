@@ -113,7 +113,7 @@ class ExchangeEngine:
         # Channel rate and config are fixed for a run, so the per-channel
         # derived constants (request cap, demand budget, fresh-link
         # floors) are computed once here instead of in every hot call.
-        self._channel_consts: dict[int, ChannelConsts] = {}
+        self._channel_consts: dict[int, ChannelConsts] = {}  # repro: noqa[REP101] pure memo cache; recomputed from fixed config
 
     def _consts(self, channel_id: int) -> ChannelConsts:
         """Cached per-channel protocol constants."""

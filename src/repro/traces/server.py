@@ -35,7 +35,10 @@ class TraceServer:
         self._obs = obs
         self.received = 0
         self.dropped = 0
-        self._folded_dropped = 0  # drops already folded into a TraceHealth
+        # Drops already folded into a TraceHealth.  Deliberately reset on
+        # resume: each process folds into a fresh TraceHealth, so the
+        # first post-restore fold must re-add every restored drop.
+        self._folded_dropped = 0  # repro: noqa[REP101] reset on resume; each process folds into a fresh TraceHealth
 
     def receive(self, report: PeerReport) -> bool:
         """Deliver one UDP report; False if it was lost in flight."""

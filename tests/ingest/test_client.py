@@ -290,3 +290,44 @@ class TestCheckpointRoundTrip:
         assert clone.stats.reports_enqueued == 5
         # The jitter stream continues from the same position.
         assert clone.backoff_delay(3) == client.backoff_delay(3)
+
+    def test_breaker_timing_and_udp_dedup_survive_restore(self):
+        # Regression for a gap the qa REP101 pass found: the breaker
+        # *state* was captured but not its clock (_breaker_opened_at,
+        # _next_attempt) or the UDP dedup set, so a resumed client
+        # half-opened immediately and could re-degrade shipped seqs.
+        client, clock = manual_client(1, breaker_threshold=3)
+        clock.advance(5.0)
+        for _ in range(3):
+            client._on_tcp_failure()
+        assert client.breaker_state == BREAKER_OPEN
+        client._udp_shipped.update({2, 4})
+        state = client.checkpoint_state()
+
+        clone, clone_clock = manual_client(1, breaker_threshold=3)
+        clone.restore_checkpoint(state)
+        assert clone._breaker == BREAKER_OPEN
+        assert clone._breaker_opened_at == client._breaker_opened_at
+        assert clone._next_attempt == client._next_attempt
+        assert clone._udp_shipped == {2, 4}
+        # The cooldown resumes mid-flight rather than restarting: once
+        # the clone's clock reaches the same instants, its transitions
+        # match an uninterrupted client's exactly.
+        clone_clock.advance(5.0)  # catch up to the checkpoint instant
+        clone_clock.advance(9.999)
+        assert clone.breaker_state == BREAKER_OPEN
+        clone_clock.advance(0.001)
+        assert clone.breaker_state == BREAKER_HALF_OPEN
+
+    def test_legacy_checkpoint_without_breaker_timing_keys(self):
+        # Checkpoints written before the breaker-timing keys existed
+        # must still restore (with the old implicit-reset semantics).
+        client, _ = manual_client(1)
+        state = client.checkpoint_state()
+        for key in ("next_attempt", "breaker_opened_at", "udp_shipped"):
+            del state[key]
+        clone, _ = manual_client(1)
+        clone.restore_checkpoint(state)
+        assert clone._next_attempt == 0.0
+        assert clone._breaker_opened_at == 0.0
+        assert clone._udp_shipped == set()

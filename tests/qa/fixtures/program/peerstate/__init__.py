@@ -1,0 +1,6 @@
+"""Trimmed copy of the simulator's Peer with an explicit checkpoint pair.
+
+The mutation test copies this package to a temp dir, injects an extra
+mutable field that the pair does not capture, and asserts REP101 fires.
+The pristine package here must therefore scan *clean*.
+"""

@@ -1,0 +1,23 @@
+"""Checkpoint pair covering every mutable PeerLite field."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from peerstate.peer import PeerLite
+
+
+def snapshot_peer(peer: PeerLite) -> dict[str, Any]:
+    return {
+        "partners": dict(peer.partners),
+        "health": peer.health,
+        "starving_ticks": peer.starving_ticks,
+        "depth": peer.depth,
+    }
+
+
+def restore_peer(peer: PeerLite, state: dict[str, Any]) -> None:
+    peer.partners = dict(state["partners"])
+    peer.health = state["health"]
+    peer.starving_ticks = state["starving_ticks"]
+    peer.depth = state["depth"]

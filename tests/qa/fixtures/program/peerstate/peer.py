@@ -1,0 +1,22 @@
+"""A cut-down Peer: identity fields plus the mutable protocol state."""
+
+from __future__ import annotations
+
+
+class PeerLite:
+    def __init__(self, peer_id: int, *, upload_kbps: float, join_time: float) -> None:
+        self.peer_id = peer_id
+        self.upload_kbps = upload_kbps
+        self.join_time = join_time
+        self.partners: dict[int, float] = {}
+        self.health = 0.0
+        self.starving_ticks = 0
+        self.depth = 64
+
+    def tick(self, now: float, recv_kbps: float, rate_kbps: float) -> None:
+        self.health = 0.9 * self.health + 0.1 * (recv_kbps / rate_kbps)
+        self.starving_ticks = self.starving_ticks + 1 if self.health < 0.5 else 0
+
+    def adopt(self, supplier_id: int, bandwidth: float, depth: int) -> None:
+        self.partners[supplier_id] = bandwidth
+        self.depth = min(self.depth, depth + 1)

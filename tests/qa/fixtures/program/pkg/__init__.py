@@ -1,0 +1,11 @@
+"""Synthetic package for program-graph builder tests.
+
+Exercises cyclic imports (core <-> util), a re-export (PublicEngine),
+attribute aliasing, and one deliberately uncheckpointed mutable field
+(Counter.history) that the REP101 fixture tests assert on.  These
+modules are parsed by the analyzers, never imported at runtime.
+"""
+
+from pkg.core import Engine as PublicEngine
+
+__all__ = ["PublicEngine"]

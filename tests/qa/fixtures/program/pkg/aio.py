@@ -1,0 +1,33 @@
+"""Async fixtures: blocking reach, dropped coroutines, sync-lock awaits."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+
+
+def flush(fd: int) -> None:
+    os.fsync(fd)
+
+
+async def emit(fd: int) -> None:
+    await asyncio.sleep(0)
+
+
+async def good(fd: int) -> None:
+    await asyncio.to_thread(flush, fd)  # executor hop: no call edge
+    await emit(fd)
+
+
+async def bad(fd: int) -> None:
+    time.sleep(0.1)  # REP102: direct blocking call
+    flush(fd)  # REP102: transitively reaches os.fsync
+    emit(fd)  # REP103: coroutine never awaited or scheduled
+
+
+async def guarded(fd: int) -> None:
+    lock = threading.Lock()
+    with lock:
+        await emit(fd)  # REP103: await while holding a sync lock

@@ -1,0 +1,23 @@
+"""Checkpoint pair for Engine: covers everything but Counter.history."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from pkg.core import Engine
+
+
+def snapshot_engine(engine: Engine) -> dict[str, Any]:
+    return {
+        "rng": engine.rng.getstate(),
+        "ticks": engine.ticks,
+        "counter_value": engine.counter.value,
+        "label": engine.label,
+    }
+
+
+def restore_engine(engine: Engine, state: dict[str, Any]) -> None:
+    engine.rng.setstate(state["rng"])
+    engine.ticks = state["ticks"]
+    engine.counter.value = state["counter_value"]
+    engine.label = state["label"]

@@ -1,0 +1,30 @@
+"""Core module: stateful engine checkpointed by pkg.checkpoint."""
+
+from __future__ import annotations
+
+import random
+
+from pkg.util import tick_label  # cycle: pkg.util imports pkg.core back
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.value = 0
+        self.history: list[int] = []  # mutable, never checkpointed (fixture!)
+
+    def bump(self) -> None:
+        self.value += 1
+        self.history.append(self.value)
+
+
+class Engine:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.counter = Counter()
+        self.ticks = 0
+        self.label = tick_label(self.ticks)
+
+    def step(self) -> None:
+        self.ticks += 1
+        self.counter.bump()
+        self.label = tick_label(self.ticks)

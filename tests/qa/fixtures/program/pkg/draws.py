@@ -1,0 +1,29 @@
+"""RNG-flow fixtures: named, unseeded, global, and unordered flows."""
+
+from __future__ import annotations
+
+import random
+
+
+def draw(rng: random.Random, n: int) -> int:
+    return rng.randrange(n)
+
+
+def pick(rng: random.Random, candidates: list[int]) -> int:
+    return rng.choice(candidates)
+
+
+def replay_ok(rng: random.Random, options: set[int]) -> int:
+    return draw(rng, 10) + pick(rng, sorted(options))
+
+
+def replay_unseeded() -> int:
+    return draw(random.Random(), 10)  # REP104: fresh unseeded stream
+
+
+def replay_global() -> int:
+    return draw(random, 10)  # REP104: the hidden shared module stream
+
+
+def replay_unordered(rng: random.Random) -> int:
+    return pick(rng, {3, 1, 2})  # REP104: set order crosses the boundary

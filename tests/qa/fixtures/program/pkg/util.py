@@ -1,0 +1,24 @@
+"""Utility module closing the import cycle with pkg.core."""
+
+from __future__ import annotations
+
+from pkg.core import Counter, Engine
+
+
+class TurboEngine(Engine):
+    """Subclass with no overrides: lookup_method must climb to Engine."""
+
+
+def tick_label(ticks: int) -> str:
+    return f"t{ticks}"
+
+
+def reset(engine: Engine) -> None:
+    # Attribute aliasing: the write lands on Counter.value through a
+    # local alias, from a function outside the Counter class.
+    c = engine.counter
+    c.value = 0
+
+
+def fresh_counter() -> Counter:
+    return Counter()

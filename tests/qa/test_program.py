@@ -1,0 +1,129 @@
+"""Program-graph builder: naming, cycles, re-exports, aliasing, hints.
+
+These tests drive :class:`ProgramGraph` over the synthetic package in
+``fixtures/program/pkg`` (cyclic imports, a re-export, attribute
+aliasing) — the graph's behaviour on pathological shapes is pinned here
+so the REP1xx analyzers can assume it.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.qa.program import ProgramGraph, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ProgramGraph.build_from_paths([FIXTURES / "pkg"])
+
+
+class TestModuleNaming:
+    def test_names_climb_init_parents(self):
+        assert module_name_for(FIXTURES / "pkg" / "core.py") == "pkg.core"
+        assert module_name_for(FIXTURES / "pkg" / "__init__.py") == "pkg"
+
+    def test_all_modules_collected(self, graph):
+        assert set(graph.modules) == {
+            "pkg",
+            "pkg.aio",
+            "pkg.checkpoint",
+            "pkg.core",
+            "pkg.draws",
+            "pkg.util",
+        }
+
+
+class TestImportsAndReexports:
+    def test_cyclic_imports_resolve_both_ways(self, graph):
+        core = graph.modules["pkg.core"]
+        util = graph.modules["pkg.util"]
+        assert graph.resolve(core, "tick_label") == "pkg.util.tick_label"
+        assert graph.resolve(util, "Engine") == "pkg.core.Engine"
+
+    def test_reexport_canonicalizes_to_definition(self, graph):
+        assert graph.canonical("pkg.PublicEngine") == "pkg.core.Engine"
+
+    def test_canonical_is_identity_for_definitions(self, graph):
+        assert graph.canonical("pkg.core.Engine") == "pkg.core.Engine"
+
+
+class TestClassTable:
+    def test_classes_collected(self, graph):
+        assert set(graph.classes) == {
+            "pkg.core.Counter",
+            "pkg.core.Engine",
+            "pkg.util.TurboEngine",
+        }
+
+    def test_init_only_attr_is_immutable(self, graph):
+        engine = graph.classes["pkg.core.Engine"]
+        assert not engine.attrs["rng"].mutable
+        assert "__init__" in engine.attrs["rng"].init_writes
+
+    def test_runtime_writes_make_attr_mutable(self, graph):
+        engine = graph.classes["pkg.core.Engine"]
+        assert engine.attrs["ticks"].mutable
+        assert "step" in engine.attrs["ticks"].other_writes
+
+    def test_container_mutation_counts(self, graph):
+        counter = graph.classes["pkg.core.Counter"]
+        assert counter.attrs["history"].mutable
+        assert "bump" in counter.attrs["history"].mutations
+
+    def test_foreign_write_through_alias(self, graph):
+        # util.reset writes Counter.value via `c = engine.counter; c.value = 0`
+        value = graph.classes["pkg.core.Counter"].attrs["value"]
+        assert any(fn == "pkg.util.reset" for _, fn in value.foreign_writes)
+
+    def test_attr_class_hints_from_constructor(self, graph):
+        engine = graph.classes["pkg.core.Engine"]
+        assert engine.attrs["counter"].class_hints == ("pkg.core.Counter",)
+
+
+class TestResolution:
+    def test_chain_classes_follows_attr_hints(self, graph):
+        assert graph.chain_classes(("pkg.core.Engine",), ("counter",)) == (
+            "pkg.core.Counter",
+        )
+
+    def test_lookup_method_climbs_bases(self, graph):
+        found = graph.lookup_method("pkg.util.TurboEngine", "step")
+        assert found is not None
+        assert found.qualname == "pkg.core.Engine.step"
+
+    def test_resolve_annotation_union_and_string(self, graph):
+        util = graph.modules["pkg.util"]
+        union = ast.parse("x: Engine | None").body[0].annotation
+        assert graph.resolve_annotation(util, union) == ("pkg.core.Engine",)
+        text = ast.parse('x: "Engine"').body[0].annotation
+        assert graph.resolve_annotation(util, text) == ("pkg.core.Engine",)
+
+    def test_param_classes_from_annotations(self, graph):
+        reset = graph.modules["pkg.util"].functions["reset"]
+        assert reset.param_classes["engine"] == ("pkg.core.Engine",)
+
+
+class TestCallGraph:
+    def test_cross_module_call_resolved(self, graph):
+        step = graph.classes["pkg.core.Engine"].methods["step"]
+        targets = {site.target for site in step.calls}
+        assert "pkg.util.tick_label" in targets
+        assert "pkg.core.Counter.bump" in targets
+
+    def test_external_calls_kept_verbatim(self, graph):
+        bad = graph.modules["pkg.aio"].functions["bad"]
+        assert "time.sleep" in {site.target for site in bad.calls}
+
+    def test_discarded_flag_on_bare_statement_calls(self, graph):
+        bad = graph.modules["pkg.aio"].functions["bad"]
+        dropped = [s for s in bad.calls if s.target == "pkg.aio.emit"]
+        assert dropped and all(s.discarded and not s.awaited for s in dropped)
+
+    def test_awaited_flag(self, graph):
+        good = graph.modules["pkg.aio"].functions["good"]
+        awaited = [s for s in good.calls if s.target == "pkg.aio.emit"]
+        assert awaited and all(s.awaited for s in awaited)

@@ -1,0 +1,133 @@
+"""Mutation tests: each REP1xx analyzer must catch a seeded defect.
+
+A pristine copy of ``src/repro`` scans clean under ``--program``; the
+same copy with a hidden uncheckpointed field, a blocking call inside an
+``async def``, or an unattributed RNG draw must gate.  This is the
+end-to-end proof that the analyzers see the *real* tree, not just the
+synthetic fixtures.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.qa.engine import scan_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+PEERSTATE = Path(__file__).parent / "fixtures" / "program" / "peerstate"
+
+
+def _copy_tree(tmp_path: Path) -> Path:
+    dest = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, dest, ignore=shutil.ignore_patterns("__pycache__"))
+    return dest
+
+
+def _mutate(path: Path, old: str, new: str) -> None:
+    text = path.read_text()
+    assert old in text, f"mutation anchor missing from {path.name}: {old!r}"
+    path.write_text(text.replace(old, new, 1))
+
+
+def _program_findings(root: Path) -> list[str]:
+    result = scan_paths([root], program=True)
+    return [f"{f.rule_id} {f.message}" for f in result.findings]
+
+
+@pytest.fixture(scope="module")
+def clean_findings(tmp_path_factory):
+    tree = _copy_tree(tmp_path_factory.mktemp("clean"))
+    return _program_findings(tree)
+
+
+class TestRealTreeMutations:
+    def test_pristine_copy_is_clean(self, clean_findings):
+        assert clean_findings == []
+
+    def test_hidden_uncheckpointed_field_fires_rep101(self, tmp_path, clean_findings):
+        tree = _copy_tree(tmp_path)
+        target = tree / "traces" / "server.py"
+        _mutate(target, "        self.received = 0\n",
+                "        self.received = 0\n        self.mutant_seen = 0\n")
+        _mutate(target, "        self.received += 1\n",
+                "        self.received += 1\n        self.mutant_seen += 1\n")
+        found = _program_findings(tree)
+        assert any(
+            "REP101" in f and "TraceServer.mutant_seen" in f for f in found
+        ), found
+        assert not any(f in clean_findings for f in found if "REP101" in f)
+
+    def test_blocking_call_in_async_def_fires_rep102(self, tmp_path):
+        tree = _copy_tree(tmp_path)
+        target = tree / "ingest" / "service.py"
+        _mutate(target, "import asyncio\n", "import asyncio\nimport time\n")
+        _mutate(target, "        await self._queue.put(None)",
+                "        time.sleep(0.0)\n        await self._queue.put(None)")
+        found = _program_findings(tree)
+        assert any(
+            "REP102" in f and "_drain_and_seal" in f and "time.sleep" in f
+            for f in found
+        ), found
+
+    def test_unattributed_rng_draw_fires_rep104(self, tmp_path):
+        tree = _copy_tree(tmp_path)
+        target = tree / "traces" / "server.py"
+        target.write_text(
+            target.read_text()
+            + "\n\ndef _mutant_draw(rng):\n"
+            "    return rng.random()\n"
+            "\n\ndef _mutant_resample():\n"
+            "    return _mutant_draw(random.Random())\n"
+        )
+        found = _program_findings(tree)
+        assert any(
+            "REP104" in f and "_mutant_resample" in f and "unseeded" in f
+            for f in found
+        ), found
+
+
+class TestPeerMutation:
+    def test_uncheckpointed_peer_field_fires_rep101(self, tmp_path):
+        dest = tmp_path / "peerstate"
+        shutil.copytree(PEERSTATE, dest, ignore=shutil.ignore_patterns("__pycache__"))
+        _mutate(dest / "peer.py", "        self.depth = 64\n",
+                "        self.depth = 64\n        self.burst_credit = 0.0\n")
+        _mutate(dest / "peer.py",
+                "        self.partners[supplier_id] = bandwidth\n",
+                "        self.partners[supplier_id] = bandwidth\n"
+                "        self.burst_credit += bandwidth\n")
+        found = _program_findings(dest)
+        assert any("PeerLite.burst_credit" in f for f in found), found
+
+
+class TestGate:
+    def test_program_pass_stays_under_ten_seconds(self):
+        start = time.monotonic()
+        result = scan_paths([REPO_SRC], program=True)
+        elapsed = time.monotonic() - start
+        assert result.files_scanned > 50
+        assert elapsed < 10.0, f"program pass took {elapsed:.1f}s"
+
+    def test_baseline_ratchet_blesses_old_findings_and_gates_new(self, tmp_path, capsys):
+        tree = _copy_tree(tmp_path)
+        target = tree / "traces" / "server.py"
+        _mutate(target, "        self.received = 0\n",
+                "        self.received = 0\n        self.mutant_seen = 0\n")
+        _mutate(target, "        self.received += 1\n",
+                "        self.received += 1\n        self.mutant_seen += 1\n")
+        baseline = tmp_path / "qa-baseline.json"
+        argv = ["qa", "--program", "--baseline", str(baseline), str(tree)]
+        assert main(argv + ["--update-baseline"]) == 0
+        # Blessed: the known finding no longer gates.
+        assert main(argv) == 0
+        assert "baselined" in capsys.readouterr().out
+        # A *new* finding still gates despite the baseline.
+        _mutate(target, "        self.dropped = 0\n",
+                "        self.dropped = 0\n        self.mutant_two = 0\n")
+        _mutate(target, "            self.dropped += 1\n",
+                "            self.dropped += 1\n            self.mutant_two += 1\n")
+        assert main(argv) == 1
+        assert "mutant_two" in capsys.readouterr().out

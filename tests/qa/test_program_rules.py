@@ -1,0 +1,223 @@
+"""REP1xx analyzers, baseline ratchet, and suppression accounting."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.qa.baseline import apply_baseline, load_baseline, save_baseline
+from repro.qa.engine import (
+    UNUSED_SUPPRESSION_ID,
+    fix_unused_suppressions,
+    scan_paths,
+)
+from repro.qa.findings import Finding, Severity
+from repro.qa.program import ProgramGraph
+from repro.qa.program_rules import all_program_rules, known_program_rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+
+
+def findings_for(root: Path, rule_id: str) -> list[tuple[str, int, str]]:
+    graph = ProgramGraph.build_from_paths([root])
+    out = []
+    for rule in all_program_rules():
+        if rule.rule_id != rule_id:
+            continue
+        for path, line, _col, message in rule.check(graph):
+            out.append((path.name, line, message))
+    return sorted(out)
+
+
+class TestRegistry:
+    def test_all_four_analyzer_ids_known(self):
+        assert {"REP101", "REP102", "REP103", "REP104"} <= known_program_rule_ids()
+
+
+class TestCheckpointCompleteness:
+    def test_uncovered_mutable_attr_is_the_only_finding(self):
+        found = findings_for(FIXTURES / "pkg", "REP101")
+        assert len(found) == 1
+        name, _line, message = found[0]
+        assert name == "core.py"
+        assert "Counter.history" in message
+        assert "snapshot_engine/restore_engine" in message
+
+    def test_peerstate_fixture_is_clean(self):
+        assert findings_for(FIXTURES / "peerstate", "REP101") == []
+
+    def test_key_asymmetry_both_directions(self, tmp_path):
+        (tmp_path / "__init__.py").write_text("")
+        (tmp_path / "box.py").write_text(
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.a = 0\n"
+            "        self.b = 0\n"
+            "    def poke(self):\n"
+            "        self.a += 1\n"
+            "        self.b += 1\n"
+            "    def checkpoint_state(self):\n"
+            "        return {'a': self.a, 'b': self.b, 'ghost': 1}\n"
+            "    def restore_checkpoint(self, state):\n"
+            "        self.a = state['a']\n"
+            "        self.b = state['b']\n"
+            "        _ = state['phantom']\n"
+        )
+        messages = [m for _, _, m in findings_for(tmp_path, "REP101")]
+        assert any("'ghost'" in m and "never read" in m for m in messages)
+        assert any("'phantom'" in m and "restore" in m for m in messages)
+
+    def test_classmethod_restore_counts_as_a_pair(self, tmp_path):
+        (tmp_path / "__init__.py").write_text("")
+        (tmp_path / "cell.py").write_text(
+            "class Cell:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            "        self.lost = 0\n"
+            "    def grow(self):\n"
+            "        self.n += 1\n"
+            "        self.lost += 1\n"
+            "    def state(self):\n"
+            "        return {'n': self.n}\n"
+            "    @classmethod\n"
+            "    def restore(cls, state):\n"
+            "        cell = cls()\n"
+            "        cell.n = state['n']\n"
+            "        return cell\n"
+        )
+        messages = [m for _, _, m in findings_for(tmp_path, "REP101")]
+        assert any("Cell.lost" in m for m in messages)
+        assert not any("Cell.n " in m for m in messages)
+
+
+class TestAsyncSafety:
+    def test_direct_and_transitive_blocking_calls(self):
+        found = findings_for(FIXTURES / "pkg", "REP102")
+        assert [(n, l) for n, l, _ in found] == [("aio.py", 25), ("aio.py", 26)]
+        messages = [m for _, _, m in found]
+        assert any("time.sleep()" in m for m in messages)
+        assert any("aio.flush -> os.fsync()" in m for m in messages)
+
+    def test_executor_hop_and_await_are_clean(self):
+        # good() calls the same blocking helper via asyncio.to_thread
+        assert not any("good()" in m for _, _, m in findings_for(FIXTURES / "pkg", "REP102"))
+
+    def test_dropped_coroutine_and_sync_lock_await(self):
+        found = findings_for(FIXTURES / "pkg", "REP103")
+        assert [(n, l) for n, l, _ in found] == [("aio.py", 27), ("aio.py", 33)]
+        messages = [m for _, _, m in found]
+        assert any("never awaited" in m for m in messages)
+        assert any("synchronous lock" in m for m in messages)
+
+
+class TestRngFlow:
+    def test_unseeded_global_and_unordered_flows(self):
+        found = findings_for(FIXTURES / "pkg", "REP104")
+        by_line = {l: m for _, l, m in found}
+        assert set(by_line) == {21, 25, 29}
+        assert "unseeded random.Random()" in by_line[21]
+        assert "global random module" in by_line[25]
+        assert "set literal" in by_line[29] and "'candidates'" in by_line[29]
+
+    def test_named_seeded_flow_is_clean(self):
+        assert not any(
+            "replay_ok" in m for _, _, m in findings_for(FIXTURES / "pkg", "REP104")
+        )
+
+
+class TestSuppressionAccounting:
+    """REP000 and --fix-suppressions extend to the REP1xx ids."""
+
+    def _write_pair(self, tmp_path, *, suppress: str) -> Path:
+        (tmp_path / "__init__.py").write_text("")
+        target = tmp_path / "jar.py"
+        target.write_text(
+            "class Jar:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            f"        self.scratch = []{suppress}\n"
+            "    def fill(self):\n"
+            "        self.n += 1\n"
+            "        self.scratch.append(self.n)\n"
+            "    def checkpoint_state(self):\n"
+            "        return {'n': self.n}\n"
+            "    def restore_checkpoint(self, state):\n"
+            "        self.n = state['n']\n"
+        )
+        return target
+
+    def test_noqa_consumes_program_finding(self, tmp_path):
+        self._write_pair(tmp_path, suppress="  # repro: noqa[REP101] scratch pad")
+        result = scan_paths([tmp_path], rules=(), program=True)
+        assert result.findings == []
+
+    def test_unused_program_suppression_flagged_in_program_mode(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("X = 1  # repro: noqa[REP101] stale\n")
+        result = scan_paths([tmp_path], rules=(), program=True)
+        assert [f.rule_id for f in result.findings] == [UNUSED_SUPPRESSION_ID]
+        removed = fix_unused_suppressions(result)
+        assert removed == 1
+        assert target.read_text() == "X = 1\n"
+
+    def test_program_suppressions_left_alone_without_program_pass(self, tmp_path):
+        # A per-file scan cannot audit REP1xx usage: no REP000, no fixing.
+        target = self._write_pair(
+            tmp_path, suppress="  # repro: noqa[REP101] scratch pad"
+        )
+        result = scan_paths([tmp_path], rules=())
+        assert result.findings == []
+        assert result.unused_suppressions == {}
+        fix_unused_suppressions(result)
+        assert "noqa[REP101]" in target.read_text()
+
+
+def _finding(path: str, line: int, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        rule_id="REP101",
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+class TestBaseline:
+    def test_round_trip_swallows_blessed_findings(self, tmp_path):
+        blessed = [_finding("src/mod.py", 3, "Widget.x is invisible")]
+        baseline = tmp_path / "qa-baseline.json"
+        save_baseline(baseline, blessed)
+        kept, swallowed = apply_baseline(blessed, load_baseline(baseline), tmp_path)
+        assert kept == [] and swallowed == 1
+
+    def test_line_moves_do_not_invalidate(self, tmp_path):
+        baseline = tmp_path / "qa-baseline.json"
+        save_baseline(
+            baseline, [_finding("src/mod.py", 3, "assigned in f() at line 9")]
+        )
+        moved = [_finding("src/mod.py", 30, "assigned in f() at line 90")]
+        kept, swallowed = apply_baseline(moved, load_baseline(baseline), tmp_path)
+        assert kept == [] and swallowed == 1
+
+    def test_budget_is_a_multiset(self, tmp_path):
+        # Two blessed copies of the same fingerprint: a third occurrence gates.
+        twin = _finding("src/mod.py", 3, "Widget.x is invisible")
+        baseline = tmp_path / "qa-baseline.json"
+        save_baseline(baseline, [twin, twin])
+        found = [twin, twin, twin]
+        kept, swallowed = apply_baseline(found, load_baseline(baseline), tmp_path)
+        assert len(kept) == 1 and swallowed == 2
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        baseline = tmp_path / "qa-baseline.json"
+        baseline.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(baseline)
+
+    def test_saved_file_is_stable_json(self, tmp_path):
+        baseline = tmp_path / "qa-baseline.json"
+        save_baseline(baseline, [_finding("src/mod.py", 3, "msg")])
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        assert isinstance(payload["findings"], list)
