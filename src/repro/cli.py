@@ -5,9 +5,12 @@ Seven subcommands cover the whole pipeline:
 - ``simulate`` — run a UUSee deployment and write its Magellan trace;
 - ``run``      — run a crash-safe campaign (segmented trace directory +
   periodic checkpoints); ``--resume`` continues a killed campaign,
+  ``--shards N`` partitions the channels across N supervised worker
+  subprocesses (heartbeats, crash-resume, poison-shard quarantine),
   ``--obs-dir`` records live metrics/spans while it runs, and
   ``--ingest`` ships reports over the network to a ``repro serve``
-  ingestion server instead of writing locally;
+  ingestion server instead of writing locally; SIGTERM/SIGINT stop
+  gracefully (final checkpoint, sealed trace, exit code 3);
 - ``serve``    — run the trace ingestion service (UDP + TCP on
   loopback, crash-tolerant admission, SIGTERM drains gracefully);
 - ``analyze``  — regenerate any paper figure (or all) from a trace file
@@ -90,7 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--resume", action="store_true",
         help="restore the newest valid checkpoint, recover the trace "
-        "store and continue the campaign",
+        "store and continue the campaign (with --shards: resume every "
+        "shard in place)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the campaign's channels across N supervised "
+        "worker subprocesses (crash-resume, backoff, quarantine); "
+        "their traces merge deterministically when all finish",
+    )
+    run.add_argument(
+        "--max-restarts", type=int, default=3, metavar="K",
+        help="consecutive no-progress failures before a shard is "
+        "quarantined as poisoned (fleet mode)",
+    )
+    run.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="worker silence tolerated before it is declared hung "
+        "and SIGKILLed (fleet mode)",
+    )
+    run.add_argument(
+        "--progress-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="longest a worker may heartbeat without completing new "
+        "rounds before it is declared hung (fleet mode)",
     )
     run.add_argument("--days", type=float, default=2.0)
     run.add_argument("--base", type=float, default=500.0, help="base concurrency")
@@ -284,7 +309,125 @@ def _parse_ingest_target(target: str) -> tuple[str, int, int]:
     )
 
 
+@contextlib.contextmanager
+def _graceful_stop():
+    """SIGTERM/SIGINT set an event instead of killing the process.
+
+    ``repro run`` polls the event at round boundaries, takes a final
+    checkpoint, seals the trace store and exits with code 3 — so an
+    operator's Ctrl-C (or a scheduler's SIGTERM) always leaves a
+    campaign that ``--resume`` continues losslessly.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def _handler(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _handler)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        yield stop
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _cmd_run_fleet(args: argparse.Namespace) -> int:
+    """The ``run --shards N`` path: a supervised sharded campaign."""
+    from repro.fleet import FleetCampaignConfig, run_fleet_campaign
+    from repro.fleet.plan import IngestSpec
+    from repro.fleet.supervisor import SupervisorPolicy
+
+    ingest_spec = None
+    if args.ingest is not None:
+        try:
+            host, tcp_port, udp_port = _parse_ingest_target(args.ingest)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ingest_spec = IngestSpec(
+            host=host,
+            tcp_port=tcp_port,
+            udp_port=udp_port,
+            transport=args.ingest_transport,
+            loss_rate=args.ingest_loss,
+            shard_base=args.ingest_shard,
+        )
+    config = FleetCampaignConfig(
+        campaign_dir=args.trace_dir,
+        num_shards=args.shards,
+        days=args.days,
+        base_concurrency=args.base,
+        seed=args.seed,
+        with_flash_crowd=not args.no_flash_crowd,
+        policy=args.policy,
+        checkpoint_every_rounds=args.checkpoint_every,
+        keep_last=args.keep_last,
+        records_per_segment=args.segment_records,
+        compress=args.compress,
+        fsync_on_flush=args.fsync,
+        supervisor=SupervisorPolicy(
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            progress_timeout_s=args.progress_timeout,
+            max_restarts=args.max_restarts,
+        ),
+        ingest=ingest_spec,
+    )
+    obs = create_observer(args.obs_dir)
+    try:
+        with _graceful_stop() as stop:
+            result = run_fleet_campaign(config, stop=stop, obs=obs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if args.obs_dir is not None:
+            finalize_observer(obs, args.obs_dir)
+    for sid, outcome in sorted(result.outcomes.items()):
+        restarts = f", {outcome.restarts} restarts" if outcome.restarts else ""
+        print(
+            f"shard {sid}: {outcome.status} "
+            f"({outcome.rounds_completed} rounds{restarts})"
+        )
+    if result.quarantined:
+        print(
+            f"QUARANTINED shards: {result.quarantined} — their channels "
+            "are missing from the merged trace (see health.json)"
+        )
+    if result.interrupted:
+        print(
+            f"campaign interrupted; every shard checkpointed — "
+            f"rerun the same command to resume in {args.trace_dir}"
+        )
+        return 3
+    if result.merge is not None:
+        print(
+            f"campaign complete: {result.merge.records} reports merged "
+            f"from {len(result.merge.shards)} shards into {args.trace_dir}"
+        )
+        print(f"merged trace sha256: {result.merge.content_sha256}")
+    else:
+        print(f"campaign complete: reports shipped to {args.ingest}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        verb = "resuming" if args.resume else "starting"
+        print(
+            f"{verb} {args.shards}-shard campaign in {args.trace_dir}: "
+            f"{args.days} days at base concurrency {args.base:.0f} "
+            f"(seed {args.seed}, policy {args.policy}) ..."
+        )
+        return _cmd_run_fleet(args)
     verb = "resuming" if args.resume else "starting"
     print(
         f"{verb} campaign in {args.trace_dir}: {args.days} days at base "
@@ -321,23 +464,25 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{host}:{tcp_port} (udp {udp_port})"
         )
     try:
-        result = ex.run_campaign(
-            args.trace_dir,
-            days=args.days,
-            base_concurrency=args.base,
-            seed=args.seed,
-            with_flash_crowd=not args.no_flash_crowd,
-            policy=SelectionPolicy(args.policy),
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every_rounds=args.checkpoint_every,
-            keep_last=args.keep_last,
-            resume=args.resume,
-            records_per_segment=args.segment_records,
-            compress=args.compress,
-            fsync_on_flush=args.fsync,
-            ingest=ingest,
-            obs=obs,
-        )
+        with _graceful_stop() as stop:
+            result = ex.run_campaign(
+                args.trace_dir,
+                days=args.days,
+                base_concurrency=args.base,
+                seed=args.seed,
+                with_flash_crowd=not args.no_flash_crowd,
+                policy=SelectionPolicy(args.policy),
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every_rounds=args.checkpoint_every,
+                keep_last=args.keep_last,
+                resume=args.resume,
+                records_per_segment=args.segment_records,
+                compress=args.compress,
+                fsync_on_flush=args.fsync,
+                stop=stop.is_set,
+                ingest=ingest,
+                obs=obs,
+            )
     except (CheckpointError, FileExistsError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -348,10 +493,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             finalize_observer(obs, args.obs_dir)
     if result.resumed_from_round is not None:
         print(f"resumed from checkpoint at round {result.resumed_from_round}")
-    print(
-        f"campaign complete: {result.rounds_completed} rounds, "
-        f"{result.trace_records} reports in {result.trace_dir}"
-    )
+    if result.interrupted:
+        print(
+            f"campaign interrupted at round {result.rounds_completed}: "
+            f"checkpoint taken, trace sealed — resume with --resume"
+        )
+    else:
+        print(
+            f"campaign complete: {result.rounds_completed} rounds, "
+            f"{result.trace_records} reports in {result.trace_dir}"
+        )
     if result.health.dirty:
         print(format_trace_health(result.health, title="campaign health"))
     if args.obs_dir is not None:
@@ -359,7 +510,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"observability data in {args.obs_dir} "
             f"(inspect with: repro obs summarize {args.obs_dir})"
         )
-    return 0
+    return 3 if result.interrupted else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -588,7 +739,7 @@ def _campaign_health_rows(health: dict[str, object]) -> list[list[object]]:
     """Collection/recovery accounting rows from a persisted health.json."""
     counters = health.get("health")
     counters = counters if isinstance(counters, dict) else {}
-    return [
+    rows: list[list[object]] = [
         ["rounds completed", health.get("rounds_completed", "?")],
         ["trace records", health.get("trace_records", "?")],
         ["resumed from round", health.get("resumed_from_round")],
@@ -597,6 +748,40 @@ def _campaign_health_rows(health: dict[str, object]) -> list[list[object]]:
         ["truncated lines (recovery)", counters.get("truncated_lines", 0)],
         ["parse failures (recovery)", counters.get("parse_failures", 0)],
     ]
+    fleet = health.get("fleet")
+    if isinstance(fleet, dict):
+        rows.append(["fleet shards", fleet.get("num_shards", "?")])
+        shards = fleet.get("shards")
+        if isinstance(shards, dict):
+            for sid, shard in sorted(shards.items(), key=lambda kv: int(kv[0])):
+                if not isinstance(shard, dict):
+                    continue
+                restarts = shard.get("restarts", 0)
+                suffix = f", {restarts} restarts" if restarts else ""
+                rows.append(
+                    [
+                        f"shard {sid}",
+                        f"{shard.get('status', '?')} "
+                        f"({shard.get('rounds_completed', '?')} rounds{suffix})",
+                    ]
+                )
+        quarantined = fleet.get("quarantined")
+        if quarantined:
+            rows.append(["QUARANTINED shards", quarantined])
+        incidents = fleet.get("incidents")
+        if isinstance(incidents, list) and incidents:
+            rows.append(["fleet incidents", len(incidents)])
+            for incident in incidents:
+                if not isinstance(incident, dict):
+                    continue
+                rows.append(
+                    [
+                        f"  {incident.get('kind', '?')} "
+                        f"shard {incident.get('shard_id', '?')}",
+                        incident.get("detail", ""),
+                    ]
+                )
+    return rows
 
 
 def _print_campaign_health(trace_path: Path) -> None:
@@ -702,7 +887,11 @@ def cmd_info(args: argparse.Namespace) -> int:
         ips.add(report.peer_ip)
         channels.add(report.channel_id)
     if count == 0:
+        # An interrupted fleet campaign has no merged root trace yet,
+        # but its health summary (per-shard status, incidents) is
+        # exactly what an operator checking on it needs.
         print("empty trace")
+        _print_campaign_health(args.trace)
         return 0
     sessions = session_statistics(trace)
     turnover = population_turnover(trace)

@@ -14,7 +14,7 @@ import json
 from functools import partial
 from dataclasses import dataclass
 from pathlib import Path
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -42,7 +42,12 @@ from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.graph.smallworld import SmallWorldMetrics
 from repro.network.isp import IspDatabase, build_default_database
 from repro.simulator.channel import ChannelCatalogue
-from repro.simulator.checkpoint import CheckpointError, CheckpointManager, restore_into
+from repro.simulator.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    draw_fingerprint,
+    restore_into,
+)
 from repro.simulator.failures import FaultPlan
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.system import SystemConfig, UUSeeSystem
@@ -125,6 +130,9 @@ class CampaignResult:
     trace_records: int
     resumed_from_round: int | None  # None when started fresh
     health: TraceHealth  # recovery repairs + collection-side drops
+    interrupted: bool = False  # a stop signal cut the run short (checkpointed)
+    rng_fingerprint: str | None = None  # final named-RNG state digest
+    content_sha256: str | None = None  # trace content digest (local stores only)
 
 
 def run_campaign(
@@ -141,10 +149,14 @@ def run_campaign(
     checkpoint_dir: str | Path | None = None,
     checkpoint_every_rounds: int = 36,
     keep_last: int = 3,
-    resume: bool = False,
+    resume: bool | str = False,
     records_per_segment: int = 100_000,
     compress: bool = False,
     fsync_on_flush: bool = False,
+    checkpoint_scope: str = "",
+    stop: Callable[[], bool] | None = None,
+    on_round: Callable[[int], None] | None = None,
+    compute_content_sha: bool = False,
     ingest: "ReportClient | None" = None,
     obs: AnyObserver = NULL_OBSERVER,
 ) -> CampaignResult:
@@ -175,7 +187,25 @@ def run_campaign(
     Resuming an ingest campaign requires passing ``ingest`` again: the
     checkpoint carries the reporter's pending frames and sequence
     cursor, and the server deduplicates the replayed resends.
+
+    ``resume="auto"`` is the supervised-restart mode: resume from the
+    newest valid checkpoint when one exists, otherwise start fresh —
+    recovering (and discarding, via ``rollback(0)``) whatever trace
+    data a previous attempt left behind without ever reaching its first
+    checkpoint.  A fleet worker restarted after any crash can always
+    pass ``"auto"`` and converge on the uninterrupted campaign.
+
+    ``stop`` is polled at every round boundary; when it returns true
+    the campaign halts *after* the completed round, takes its final
+    checkpoint, seals the store, and returns with ``interrupted=True``
+    — a later ``resume`` continues exactly where it left off.
+    ``on_round`` fires after every completed round (heartbeats).
+    ``checkpoint_scope`` narrows the checkpoint config token (shard
+    identity); ``compute_content_sha`` additionally digests the final
+    trace content into ``CampaignResult.content_sha256``.
     """
+    if isinstance(resume, str) and resume != "auto":
+        raise ValueError(f"resume must be True, False or 'auto', got {resume!r}")
     trace_dir = Path(trace_dir)
     ckpt_dir = (
         Path(checkpoint_dir) if checkpoint_dir is not None
@@ -194,16 +224,18 @@ def run_campaign(
         # would double-apply it.  trace_server's RNG stream simply makes
         # zero draws — every other stream's sequence is untouched.
         config = dataclasses.replace(config, trace_loss_rate=0.0)
-    manager = CheckpointManager(ckpt_dir, keep_last=keep_last)
+    manager = CheckpointManager(
+        ckpt_dir, keep_last=keep_last, scope=checkpoint_scope, obs=obs
+    )
     resumed_from: int | None = None
     store: "SegmentedTraceStore | ReportClient"
-    if resume:
-        found = manager.latest_valid()
-        if found is None:
-            raise CheckpointError(
-                f"--resume: no valid checkpoint under {ckpt_dir}; "
-                "start without --resume to begin a fresh campaign"
-            )
+    found = manager.latest_valid() if resume else None
+    if resume is True and found is None:
+        raise CheckpointError(
+            f"--resume: no valid checkpoint under {ckpt_dir}; "
+            "start without --resume to begin a fresh campaign"
+        )
+    if found is not None:
         _, state = found
         if ingest is not None:
             store = ingest
@@ -214,26 +246,45 @@ def run_campaign(
             if state["trace_records"] is not None:
                 store.rollback(state["trace_records"])
         system = UUSeeSystem(config, store, catalogue=catalogue, obs=obs)
-        restore_into(system, state)
+        restore_into(system, state, scope=checkpoint_scope)
         resumed_from = system.rounds_completed
     else:
-        store = ingest if ingest is not None else SegmentedTraceStore(
-            trace_dir,
-            records_per_segment=records_per_segment,
-            compress=compress,
-            fsync_on_flush=fsync_on_flush,
-            obs=obs,
-        )
+        if ingest is not None:
+            store = ingest
+        else:
+            try:
+                store = SegmentedTraceStore(
+                    trace_dir,
+                    records_per_segment=records_per_segment,
+                    compress=compress,
+                    fsync_on_flush=fsync_on_flush,
+                    obs=obs,
+                )
+            except FileExistsError:
+                if resume != "auto":
+                    raise
+                # A previous attempt died before its first checkpoint:
+                # its trace data has no cut to rejoin, so recover the
+                # store and discard everything — the fresh run
+                # regenerates it all.
+                store = SegmentedTraceStore.recover(
+                    trace_dir, fsync_on_flush=fsync_on_flush, obs=obs
+                )
+                store.rollback(0)
         system = UUSeeSystem(config, store, catalogue=catalogue, obs=obs)
     remaining = days * SECONDS_PER_DAY - system.engine.now
+    finished = True
     if remaining > 1e-9:
         with obs.span("campaign.run"):
-            system.run(
+            finished = system.run(
                 seconds=remaining,
                 checkpoint=manager,
                 checkpoint_every_rounds=checkpoint_every_rounds,
+                stop=stop,
+                on_round=on_round,
             )
     manager.save(system)  # final cut: a later --resume extends cleanly
+    fingerprint = draw_fingerprint(system)
     store.close()
     health = TraceHealth()
     if ingest is not None:
@@ -246,12 +297,18 @@ def run_campaign(
         health.merge(store.health)
         trace_records = len(store)
     system.trace_server.fold_into(health)
+    content_sha: str | None = None
+    if compute_content_sha and isinstance(store, SegmentedTraceStore):
+        content_sha = store.content_sha256()
     result = CampaignResult(
         trace_dir=trace_dir,
         rounds_completed=system.rounds_completed,
         trace_records=trace_records,
         resumed_from_round=resumed_from,
         health=health,
+        interrupted=not finished,
+        rng_fingerprint=fingerprint,
+        content_sha256=content_sha,
     )
     _write_campaign_health(result)
     return result
@@ -259,6 +316,8 @@ def run_campaign(
 
 #: File name of the persisted campaign-health summary inside a trace dir.
 CAMPAIGN_HEALTH_NAME = "health.json"
+#: Backup of the previous valid summary, the tolerant-load fallback.
+CAMPAIGN_HEALTH_PREV_NAME = "health.json.prev"
 
 
 def _write_campaign_health(result: CampaignResult) -> None:
@@ -267,22 +326,44 @@ def _write_campaign_health(result: CampaignResult) -> None:
     ``info``/``analyze`` read this back, so server-side drops and
     recovery repairs — which exist only inside the finished campaign
     process — survive for later inspection of the trace directory.
+    Before replacing an existing *valid* summary the old file is kept
+    as ``health.json.prev``; :func:`load_campaign_health` falls back to
+    it when the primary copy is damaged or missing.
     """
     payload = {
         "rounds_completed": result.rounds_completed,
         "trace_records": result.trace_records,
         "resumed_from_round": result.resumed_from_round,
+        "interrupted": result.interrupted,
+        "rng_fingerprint": result.rng_fingerprint,
         "health": dataclasses.asdict(result.health),
     }
+    write_campaign_health_payload(result.trace_dir, payload)
+
+
+def write_campaign_health_payload(
+    trace_dir: str | Path, payload: dict[str, object]
+) -> None:
+    """Atomically persist a ``health.json`` payload, keeping a backup.
+
+    The previous file is promoted to ``health.json.prev`` only when it
+    still parses — a damaged primary never overwrites a good backup.
+    """
+    trace_dir = Path(trace_dir)
+    primary = trace_dir / CAMPAIGN_HEALTH_NAME
+    previous = _read_health_file(primary)
+    if previous is not None:
+        atomic_write_bytes(
+            trace_dir / CAMPAIGN_HEALTH_PREV_NAME,
+            (json.dumps(previous, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
     atomic_write_bytes(
-        result.trace_dir / CAMPAIGN_HEALTH_NAME,
+        primary,
         (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
     )
 
 
-def load_campaign_health(trace_dir: str | Path) -> dict[str, object] | None:
-    """Read a campaign directory's persisted ``health.json`` (or None)."""
-    path = Path(trace_dir) / CAMPAIGN_HEALTH_NAME
+def _read_health_file(path: Path) -> dict[str, object] | None:
     try:
         raw = path.read_text(encoding="utf-8")
     except OSError:
@@ -292,6 +373,21 @@ def load_campaign_health(trace_dir: str | Path) -> dict[str, object] | None:
     except ValueError:
         return None
     return payload if isinstance(payload, dict) else None
+
+
+def load_campaign_health(trace_dir: str | Path) -> dict[str, object] | None:
+    """Read a campaign directory's persisted ``health.json`` (or None).
+
+    Tolerant: a primary copy damaged by a crash mid-campaign (or
+    deleted by hand) falls back to the ``health.json.prev`` backup kept
+    by the previous successful write, so ``info`` keeps reporting the
+    newest summary that ever survived intact.
+    """
+    trace_dir = Path(trace_dir)
+    payload = _read_health_file(trace_dir / CAMPAIGN_HEALTH_NAME)
+    if payload is not None:
+        return payload
+    return _read_health_file(trace_dir / CAMPAIGN_HEALTH_PREV_NAME)
 
 
 # ------------------------------------------------------------------ Fig. 1

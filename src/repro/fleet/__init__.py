@@ -1,0 +1,47 @@
+"""Supervised sharded campaigns (DESIGN.md Sec. 10).
+
+Magellan's two-month measurement survived client crashes and collector
+hiccups because no single process owned the whole campaign.  This
+package gives the reproduction the same property: a campaign's channels
+are partitioned across N subprocess *shard workers* (channels are
+nearly independent overlays), each running its own
+:class:`~repro.simulator.system.UUSeeSystem` with its own named-RNG
+discipline, per-shard segmented trace and per-shard checkpoints.  A
+:class:`~repro.fleet.supervisor.FleetSupervisor` watches worker
+heartbeats, restarts crashed or hung workers from their newest valid
+checkpoint with bounded exponential backoff, quarantines a shard as
+*poisoned* after too many consecutive failed restarts, and finally
+merges the shard trace streams into one deterministic campaign trace.
+
+The headline invariant: a campaign whose workers are being SIGKILLed
+and hung finishes draw- and content-identically to one that was never
+touched.
+"""
+
+from repro.fleet.campaign import FleetCampaignConfig, FleetResult, run_fleet_campaign
+from repro.fleet.merge import MERGE_MANIFEST_NAME, MergeResult, merge_shards
+from repro.fleet.plan import ShardPlan, ShardSpec, build_plan, partition_channels, shard_seed
+from repro.fleet.supervisor import (
+    FleetSupervisor,
+    ShardIncident,
+    ShardOutcome,
+    SupervisorPolicy,
+)
+
+__all__ = [
+    "FleetCampaignConfig",
+    "FleetResult",
+    "run_fleet_campaign",
+    "MERGE_MANIFEST_NAME",
+    "MergeResult",
+    "merge_shards",
+    "ShardPlan",
+    "ShardSpec",
+    "build_plan",
+    "partition_channels",
+    "shard_seed",
+    "FleetSupervisor",
+    "ShardIncident",
+    "ShardOutcome",
+    "SupervisorPolicy",
+]

@@ -1,0 +1,52 @@
+"""The worker → supervisor event protocol.
+
+Workers speak to the supervisor over the one channel that survives
+every failure mode worth testing — their stdout pipe.  Each event is a
+single line::
+
+    @fleet {"type": "heartbeat", "shard": 2, "round": 36, ...}
+
+The ``@fleet `` prefix keeps stray prints (warnings, third-party noise)
+from being mistaken for protocol traffic; anything unprefixed is
+forwarded to the shard's log file instead.  Event types:
+
+- ``started`` — the worker is up (carries resume provenance);
+- ``heartbeat`` — emitted every ``heartbeat_every_rounds`` completed
+  rounds; the supervisor's liveness *and* progress signal;
+- ``interrupted`` — a graceful SIGTERM/SIGINT stop (checkpoint taken);
+- ``done`` — the shard finished (carries the final summary).
+
+The supervisor never trusts wall-clock timestamps from the worker: it
+stamps arrival times against its own injectable clock, so liveness
+timeouts are exactly testable with a manual clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+#: Line prefix marking supervisor-bound protocol events on worker stdout.
+FLEET_PREFIX = "@fleet "
+
+
+def emit_event(stream: IO[str], payload: dict[str, Any]) -> None:
+    """Write one protocol event line and flush it through the pipe."""
+    stream.write(FLEET_PREFIX + json.dumps(payload, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def parse_event(line: str) -> dict[str, Any] | None:
+    """Decode a protocol event line; ``None`` for non-protocol output.
+
+    A *malformed* protocol line (prefix present, JSON broken — e.g. a
+    worker killed mid-write) is also ``None``: the supervisor treats it
+    as noise rather than crashing on its own telemetry.
+    """
+    if not line.startswith(FLEET_PREFIX):
+        return None
+    try:
+        payload = json.loads(line[len(FLEET_PREFIX):])
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None

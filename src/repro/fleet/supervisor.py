@@ -1,0 +1,418 @@
+"""The fleet supervisor: keeps a sharded campaign alive under failure.
+
+One :class:`FleetSupervisor` owns N worker subprocesses, one per
+:class:`~repro.fleet.plan.ShardSpec`.  Its failure model (DESIGN.md
+Sec. 10):
+
+- **crash** — the worker process exits non-zero (or vanishes).  The
+  shard restarts from its newest valid checkpoint after a bounded
+  exponential backoff with seeded jitter (the same delay law as the
+  ingest :class:`~repro.ingest.client.ReportClient`).
+- **hang** — the process is alive but heartbeats stopped, or rounds
+  stopped advancing past the shard's all-time high-water mark.  The
+  supervisor SIGKILLs it and treats it as a crash.
+- **poison** — a shard that fails more than ``max_restarts`` times
+  *without making new progress* is quarantined: its worker stays down,
+  the incident is recorded, and the rest of the campaign finishes.
+  Progress resets the failure budget, so a shard that merely crashed
+  once under chaos recovers its full allowance.
+- **supervisor death** — all durable state (checkpoints, sealed
+  segments, ``done.json`` markers, worker specs) lives on disk, so a
+  re-run of the same fleet command resumes every shard in place.
+
+Liveness is judged against the supervisor's own injectable clock and
+the *arrival* time of worker events — never against timestamps a
+(possibly lying, possibly frozen) worker produced.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from repro.fleet.heartbeat import parse_event
+from repro.fleet.plan import ShardSpec
+from repro.fleet.worker import EXIT_INTERRUPTED, load_done
+from repro.obs.clock import Clock, WallClock
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
+
+#: File name of the per-shard worker spec (written next to the trace).
+SPEC_NAME = "spec.json"
+#: File name of the per-shard worker log (stderr + stray stdout).
+WORKER_LOG_NAME = "worker.log"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Liveness thresholds and the restart/quarantine budget."""
+
+    heartbeat_timeout_s: float = 30.0  # silence longer than this = hang
+    progress_timeout_s: float = 120.0  # no new round high-water = hang
+    poll_interval_s: float = 0.05
+    max_restarts: int = 3  # consecutive no-progress failures allowed
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.heartbeat_timeout_s <= 0 or self.progress_timeout_s <= 0:
+            raise ValueError("liveness timeouts must be positive")
+
+    def backoff_delay(self, failures: int, rng: random.Random) -> float:
+        """Delay before restart attempt number ``failures``.
+
+        The ingest client's law: bounded exponential from the failure
+        count, stretched by up to ``backoff_jitter`` of itself from a
+        seeded RNG — reproducible, and desynchronised across shards.
+        """
+        exponential = min(
+            self.backoff_base_s * (2 ** max(0, failures - 1)),
+            self.backoff_cap_s,
+        )
+        return exponential * (1.0 + self.backoff_jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ShardIncident:
+    """One supervisor-visible failure on one shard."""
+
+    shard_id: int
+    kind: str  # 'crash' | 'hang' | 'quarantined'
+    detail: str
+    failures: int  # consecutive-failure count after this incident
+    at_round: int  # the shard's round high-water when it happened
+
+
+@dataclass
+class ShardOutcome:
+    """Terminal state of one shard when the supervisor returns."""
+
+    shard_id: int
+    status: str  # 'done' | 'interrupted' | 'quarantined'
+    rounds_completed: int
+    restarts: int  # successful respawns performed
+    incidents: list[ShardIncident] = field(default_factory=list)
+    summary: dict[str, Any] | None = None  # the worker's done.json payload
+
+
+class _ShardState:
+    """Mutable supervisor-side bookkeeping for one shard."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.status = "pending"  # pending/running/backoff/terminal states
+        self.proc: subprocess.Popen[str] | None = None
+        self.log: IO[str] | None = None
+        self.high_water = 0  # all-time max completed round seen
+        self.last_event_at = 0.0
+        self.last_progress_at = 0.0
+        self.failures = 0  # consecutive, reset by new progress
+        self.restarts = 0
+        self.next_restart_at = 0.0
+        self.incidents: list[ShardIncident] = []
+        self.summary: dict[str, Any] | None = None
+        self.sigterm_sent = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "interrupted", "quarantined")
+
+
+class FleetSupervisor:
+    """Spawns, watches, restarts, quarantines and reaps shard workers."""
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        *,
+        policy: SupervisorPolicy | None = None,
+        seed: int = 0,
+        python: str | None = None,
+        clock: Clock | None = None,
+        sleep: Callable[[float], None] | None = None,
+        obs: AnyObserver = NULL_OBSERVER,
+    ) -> None:
+        if not specs:
+            raise ValueError("a fleet needs at least one shard spec")
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.obs = obs
+        self._python = python if python is not None else sys.executable
+        self._clock: Clock = clock if clock is not None else WallClock()
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._rng = random.Random(seed)  # backoff jitter only
+        self._events: queue.Queue[tuple[int, dict[str, Any]]] = queue.Queue()
+        self._states = {spec.shard_id: _ShardState(spec) for spec in specs}
+        self._stop = threading.Event()
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self, state: _ShardState) -> None:
+        spec = state.spec
+        trace_dir = Path(spec.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        spec_path = trace_dir / SPEC_NAME
+        spec_path.write_text(spec.to_json(), encoding="utf-8")
+        log = open(trace_dir / WORKER_LOG_NAME, "a", encoding="utf-8")
+        env = dict(os.environ)
+        # The worker must import the same repro tree the supervisor runs.
+        repro_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            repro_root + os.pathsep + existing if existing else repro_root
+        )
+        proc = subprocess.Popen(
+            [self._python, "-m", "repro.fleet.worker", "--spec", str(spec_path)],
+            stdout=subprocess.PIPE,
+            stderr=log,
+            text=True,
+            env=env,
+        )
+        state.proc = proc
+        state.log = log
+        state.status = "running"
+        state.sigterm_sent = False
+        now = self._clock.now()
+        state.last_event_at = now
+        state.last_progress_at = now
+        reader = threading.Thread(
+            target=self._read_worker,
+            args=(spec.shard_id, proc.stdout, log),
+            daemon=True,
+        )
+        reader.start()
+        self.obs.count("fleet.spawns")
+        self.obs.emit(
+            {"type": "fleet.spawn", "shard": spec.shard_id, "pid": proc.pid}
+        )
+
+    def _read_worker(
+        self, shard_id: int, stdout: IO[str] | None, log: IO[str]
+    ) -> None:
+        """Pump one worker's stdout: events to the queue, noise to its log."""
+        if stdout is None:
+            return
+        for line in stdout:
+            event = parse_event(line)
+            if event is not None:
+                self._events.put((shard_id, event))
+            else:
+                try:
+                    log.write(line)
+                except ValueError:
+                    break  # log already closed by the reaper
+        stdout.close()
+
+    def _reap(self, state: _ShardState) -> None:
+        if state.proc is not None:
+            state.proc.wait()
+            state.proc = None
+        if state.log is not None:
+            state.log.close()
+            state.log = None
+
+    def _kill(self, state: _ShardState) -> None:
+        if state.proc is not None and state.proc.poll() is None:
+            state.proc.kill()
+        self._reap(state)
+
+    # -- failure accounting -------------------------------------------------
+
+    def _record_failure(self, state: _ShardState, kind: str, detail: str) -> None:
+        """Count one crash/hang; schedule a restart or quarantine."""
+        state.failures += 1
+        incident = ShardIncident(
+            shard_id=state.spec.shard_id,
+            kind=kind,
+            detail=detail,
+            failures=state.failures,
+            at_round=state.high_water,
+        )
+        state.incidents.append(incident)
+        self.obs.count("fleet.crashes" if kind == "crash" else "fleet.hangs")
+        self.obs.emit(
+            {
+                "type": f"fleet.{kind}",
+                "shard": state.spec.shard_id,
+                "detail": detail,
+                "failures": state.failures,
+            }
+        )
+        if state.failures > self.policy.max_restarts:
+            state.status = "quarantined"
+            state.incidents.append(
+                ShardIncident(
+                    shard_id=state.spec.shard_id,
+                    kind="quarantined",
+                    detail=(
+                        f"{state.failures} consecutive failures exceed the "
+                        f"restart budget of {self.policy.max_restarts}"
+                    ),
+                    failures=state.failures,
+                    at_round=state.high_water,
+                )
+            )
+            self.obs.count("fleet.quarantines")
+            self.obs.emit(
+                {
+                    "type": "fleet.quarantine",
+                    "shard": state.spec.shard_id,
+                    "failures": state.failures,
+                }
+            )
+        else:
+            delay = self.policy.backoff_delay(state.failures, self._rng)
+            state.status = "backoff"
+            state.next_restart_at = self._clock.now() + delay
+
+    # -- event handling -----------------------------------------------------
+
+    def _drain_events(self) -> None:
+        now = self._clock.now()
+        while True:
+            try:
+                shard_id, event = self._events.get_nowait()
+            except queue.Empty:
+                return
+            state = self._states[shard_id]
+            state.last_event_at = now
+            kind = event.get("type")
+            if kind == "heartbeat":
+                round_ = int(event.get("round", 0))
+                if round_ > state.high_water:
+                    state.high_water = round_
+                    state.last_progress_at = now
+                    # New ground was covered: the shard is not poisoned,
+                    # so it earns its full restart budget back.
+                    state.failures = 0
+            elif kind in ("done", "interrupted"):
+                state.summary = event
+                state.high_water = max(
+                    state.high_water, int(event.get("rounds_completed", 0))
+                )
+
+    # -- the loop -----------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask every worker to stop gracefully (idempotent, thread-safe)."""
+        self._stop.set()
+
+    def run(self) -> dict[int, ShardOutcome]:
+        """Supervise every shard to a terminal state; returns outcomes."""
+        for state in self._states.values():
+            if load_done(state.spec.trace_dir) is not None:
+                # A previous fleet run already finished this shard;
+                # resume-after-supervisor-death must not re-run it.
+                state.summary = load_done(state.spec.trace_dir)
+                state.status = "done"
+                continue
+            self._spawn(state)
+        try:
+            while not all(s.terminal for s in self._states.values()):
+                self._drain_events()
+                if self._stop.is_set():
+                    self._propagate_stop()
+                for state in self._states.values():
+                    if state.status == "running":
+                        self._check_running(state)
+                    elif state.status == "backoff":
+                        self._check_backoff(state)
+                self._sleep(self.policy.poll_interval_s)
+            self._drain_events()
+        finally:
+            for state in self._states.values():
+                self._kill(state)
+        return {
+            sid: ShardOutcome(
+                shard_id=sid,
+                status=state.status,
+                rounds_completed=(
+                    int(state.summary.get("rounds_completed", 0))
+                    if state.summary
+                    else state.high_water
+                ),
+                restarts=state.restarts,
+                incidents=list(state.incidents),
+                summary=state.summary,
+            )
+            for sid, state in sorted(self._states.items())
+        }
+
+    def _propagate_stop(self) -> None:
+        for state in self._states.values():
+            if (
+                state.status == "running"
+                and not state.sigterm_sent
+                and state.proc is not None
+                and state.proc.poll() is None
+            ):
+                state.proc.send_signal(signal.SIGTERM)
+                state.sigterm_sent = True
+            elif state.status == "backoff":
+                # Never respawn into a stopping campaign; the shard's
+                # checkpoint already holds its resumable cut.
+                state.status = "interrupted"
+
+    def _check_running(self, state: _ShardState) -> None:
+        proc = state.proc
+        if proc is None:
+            return
+        returncode = proc.poll()
+        if returncode is not None:
+            self._drain_events()  # the exit event may still be queued
+            self._reap(state)
+            if returncode == 0 and load_done(state.spec.trace_dir) is not None:
+                state.summary = load_done(state.spec.trace_dir)
+                state.status = "done"
+                self.obs.count("fleet.dones")
+                self.obs.emit(
+                    {"type": "fleet.done", "shard": state.spec.shard_id}
+                )
+            elif returncode == EXIT_INTERRUPTED and self._stop.is_set():
+                state.status = "interrupted"
+            else:
+                self._record_failure(
+                    state, "crash", f"worker exited with code {returncode}"
+                )
+            return
+        now = self._clock.now()
+        silent_for = now - state.last_event_at
+        stuck_for = now - state.last_progress_at
+        if (
+            silent_for > self.policy.heartbeat_timeout_s
+            or stuck_for > self.policy.progress_timeout_s
+        ):
+            self._kill(state)
+            reason = (
+                f"no heartbeat for {silent_for:.1f}s"
+                if silent_for > self.policy.heartbeat_timeout_s
+                else f"no round progress for {stuck_for:.1f}s"
+            )
+            self._record_failure(state, "hang", reason)
+
+    def _check_backoff(self, state: _ShardState) -> None:
+        if self._stop.is_set():
+            state.status = "interrupted"
+            return
+        if self._clock.now() >= state.next_restart_at:
+            state.restarts += 1
+            self.obs.count("fleet.restarts")
+            self.obs.emit(
+                {
+                    "type": "fleet.restart",
+                    "shard": state.spec.shard_id,
+                    "attempt": state.restarts,
+                }
+            )
+            self._spawn(state)

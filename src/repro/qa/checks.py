@@ -83,8 +83,13 @@ WALL_CLOCK_CALLS = frozenset(
 #: ingest package joins it: timeouts, backoff schedules and commit
 #: timings must flow through the Clock seam (WallClock/LoopClock in
 #: production, ManualClock in tests) so retry and breaker behaviour is
-#: exactly reproducible.
-SIMULATED_TIME_SEGMENTS = frozenset({"simulator", "traces", "core", "obs", "ingest"})
+#: exactly reproducible.  The fleet package joins for the same reason:
+#: supervisor liveness deadlines (heartbeat/progress timeouts, backoff
+#: scheduling) read time only through the injected Clock, so hang
+#: detection and restart cadence are testable with a ManualClock.
+SIMULATED_TIME_SEGMENTS = frozenset(
+    {"simulator", "traces", "core", "obs", "ingest", "fleet"}
+)
 
 #: RNG methods whose result order depends on the order of their input.
 ORDER_SENSITIVE_RNG_METHODS = frozenset({"choice", "choices", "sample", "shuffle"})

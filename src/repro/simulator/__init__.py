@@ -24,6 +24,7 @@ from repro.simulator.checkpoint import (
     CheckpointError,
     CheckpointManager,
     config_token,
+    draw_fingerprint,
     load_checkpoint,
     restore_into,
     save_checkpoint,
@@ -53,6 +54,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "config_token",
+    "draw_fingerprint",
     "load_checkpoint",
     "restore_into",
     "save_checkpoint",

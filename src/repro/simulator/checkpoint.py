@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.ioutil import atomic_write_bytes
+from repro.obs.spans import NULL_OBSERVER, AnyObserver
 from repro.traces.faults import FaultyChannel
 
 if TYPE_CHECKING:
@@ -100,14 +101,47 @@ def _canonical(value: object) -> str:
     return f"{type(value).__qualname__}({body})"
 
 
-def config_token(config: SystemConfig) -> str:
+def config_token(config: SystemConfig, scope: str = "") -> str:
     """Fingerprint of a :class:`SystemConfig`, stable across processes.
 
     Stored in every checkpoint and compared on restore, so resuming a
     campaign with a *different* configuration fails loudly instead of
     producing a silently-inconsistent hybrid run.
+
+    ``scope`` narrows the token beyond the config: sharded fleet
+    campaigns pass their shard identity (shard index + channel subset)
+    so shard 2's checkpoint can never restore into shard 3's worker
+    even though both run the same :class:`SystemConfig` shape.  The
+    empty scope leaves the token byte-identical to pre-scope builds, so
+    existing checkpoints stay restorable.
     """
-    return hashlib.sha256(_canonical(config).encode("utf-8")).hexdigest()
+    canonical = _canonical(config)
+    if scope:
+        canonical = f"{canonical}#scope={scope}"
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def draw_fingerprint(system: UUSeeSystem) -> str:
+    """Digest of every named RNG stream's exact state, for equivalence.
+
+    Two systems with equal fingerprints will make identical draws
+    forever after — the property the fleet's kill/resume tests pin:
+    a shard that crashed and resumed must land on the *same* fingerprint
+    as one that ran straight through.
+    """
+    states = {
+        "latency": system.latency._rng.getstate(),
+        "bandwidth": system.bandwidth._rng.getstate(),
+        "exchange": system.exchange.rng.getstate(),
+        "system": system._rng.getstate(),
+        "fault": system._fault_rng.getstate(),
+        "trace_server": system.trace_server._rng.getstate(),
+    }
+    digest = hashlib.sha256()
+    for name in sorted(states):
+        digest.update(name.encode("utf-8"))
+        digest.update(repr(states[name]).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def _allocator_state(allocator: Any) -> dict[str, Any]:
@@ -127,7 +161,7 @@ def _restore_allocator(allocator: Any, state: dict[str, Any]) -> None:
 
 
 def snapshot_system(
-    system: UUSeeSystem, *, trace_records: int | None = None
+    system: UUSeeSystem, *, trace_records: int | None = None, scope: str = ""
 ) -> dict[str, Any]:
     """Capture every piece of mutable :class:`UUSeeSystem` state.
 
@@ -148,7 +182,7 @@ def snapshot_system(
             "counters": store.counters,
         }
     return {
-        "config_token": config_token(system.config),
+        "config_token": config_token(system.config, scope),
         "clock": system.engine.clock_state(),
         "rounds_completed": system.rounds_completed,
         "trace_records": trace_records,  # repro: noqa[REP101] consumed by run_campaign's store.rollback, not restore_into
@@ -196,16 +230,19 @@ def snapshot_system(
     }
 
 
-def restore_into(system: UUSeeSystem, state: dict[str, Any]) -> None:
+def restore_into(
+    system: UUSeeSystem, state: dict[str, Any], *, scope: str = ""
+) -> None:
     """Overwrite a *freshly constructed* system with checkpointed state.
 
     ``system`` must have been built from the same config the checkpoint
-    was taken under (verified via the stored config token) and not yet
-    run.  Mutation is in-place where object identity is shared —
-    ``peers`` is cleared and refilled rather than rebound, because the
-    exchange engine holds the same dict.
+    was taken under (verified via the stored config token, scoped the
+    same way it was at save time) and not yet run.  Mutation is in-place
+    where object identity is shared — ``peers`` is cleared and refilled
+    rather than rebound, because the exchange engine holds the same
+    dict.
     """
-    token = config_token(system.config)
+    token = config_token(system.config, scope)
     if state["config_token"] != token:
         raise CheckpointError(
             "checkpoint was taken under a different configuration "
@@ -332,11 +369,22 @@ class CheckpointManager:
     newest-to-oldest past corrupt files.
     """
 
-    def __init__(self, directory: str | Path, *, keep_last: int = 3) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        keep_last: int = 3,
+        scope: str = "",
+        obs: AnyObserver = NULL_OBSERVER,
+    ) -> None:
         if keep_last < 1:
             raise ValueError("keep_last must be >= 1")
         self.directory = Path(directory)
         self.keep_last = keep_last
+        self.scope = scope
+        self.obs = obs
+        #: Corrupt envelopes skipped by :meth:`latest_valid` so far.
+        self.corrupt_skipped = 0
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, rounds: int) -> Path:
@@ -365,7 +413,9 @@ class CheckpointManager:
         if sync is not None:
             sync()
         trace_records = len(inner) if hasattr(inner, "__len__") else None
-        state = snapshot_system(system, trace_records=trace_records)
+        state = snapshot_system(
+            system, trace_records=trace_records, scope=self.scope
+        )
         path = save_checkpoint(self.path_for(system.rounds_completed), state)
         self._prune()
         return path
@@ -375,12 +425,24 @@ class CheckpointManager:
 
         Corrupt files (e.g. torn by the crash itself on a filesystem
         without atomic rename) are skipped, not deleted — they are
-        evidence.
+        evidence.  Every skip is surfaced to the observer as a
+        ``checkpoint.corrupt_skipped`` count plus an event naming the
+        file and the validation failure, so silent rollback to an older
+        cut is visible in the run's telemetry.
         """
         for path in reversed(self.checkpoints()):
             try:
                 return path, load_checkpoint(path)
-            except CheckpointCorruptError:
+            except CheckpointCorruptError as exc:
+                self.corrupt_skipped += 1
+                self.obs.count("checkpoint.corrupt_skipped")
+                self.obs.emit(
+                    {
+                        "type": "checkpoint.corrupt",
+                        "path": str(path),
+                        "error": str(exc),
+                    }
+                )
                 continue
         return None
 

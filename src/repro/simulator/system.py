@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -202,13 +203,22 @@ class UUSeeSystem:
         days: float | None = None,
         checkpoint: CheckpointManager | None = None,
         checkpoint_every_rounds: int = 0,
-    ) -> None:
+        stop: Callable[[], bool] | None = None,
+        on_round: Callable[[int], None] | None = None,
+    ) -> bool:
         """Advance the simulation by the given span (cumulative).
 
         With a ``checkpoint`` manager and ``checkpoint_every_rounds > 0``
         the run persists a crash-recovery checkpoint after every N-th
         completed round (trace store synced first, so the checkpoint
         never references undurable trace data).
+
+        ``on_round`` is called with the completed-round count after each
+        round (after any due checkpoint) — the fleet worker's heartbeat
+        hook.  ``stop`` is polled at every round boundary; returning
+        true ends the run early *after* the round completed, so the
+        caller can checkpoint a consistent cut.  Returns ``True`` when
+        the span finished, ``False`` when ``stop`` cut it short.
         """
         if (seconds is None) == (days is None):
             raise ValueError("pass exactly one of seconds/days")
@@ -228,6 +238,11 @@ class UUSeeSystem:
                 and self.rounds_completed % checkpoint_every_rounds == 0
             ):
                 checkpoint.save(self)
+            if on_round is not None:
+                on_round(self.rounds_completed)
+            if stop is not None and stop():
+                return False
+        return True
 
     def _round(self, dt: float) -> None:
         now = self.engine.now

@@ -1,0 +1,56 @@
+"""Durable campaign health summaries: atomic writes, tolerant reads."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.experiments import (
+    CAMPAIGN_HEALTH_NAME,
+    CAMPAIGN_HEALTH_PREV_NAME,
+    load_campaign_health,
+    write_campaign_health_payload,
+)
+
+
+def test_write_then_load_round_trips(tmp_path):
+    payload = {"trace_records": 7, "interrupted": False}
+    write_campaign_health_payload(tmp_path, payload)
+    assert load_campaign_health(tmp_path) == payload
+    # First write: nothing to back up yet.
+    assert not (tmp_path / CAMPAIGN_HEALTH_PREV_NAME).exists()
+
+
+def test_rewrite_promotes_previous_copy_to_backup(tmp_path):
+    write_campaign_health_payload(tmp_path, {"generation": 1})
+    write_campaign_health_payload(tmp_path, {"generation": 2})
+    assert load_campaign_health(tmp_path) == {"generation": 2}
+    backup = json.loads((tmp_path / CAMPAIGN_HEALTH_PREV_NAME).read_text())
+    assert backup == {"generation": 1}
+
+
+def test_damaged_primary_falls_back_to_backup(tmp_path):
+    write_campaign_health_payload(tmp_path, {"generation": 1})
+    write_campaign_health_payload(tmp_path, {"generation": 2})
+    # A crash mid-campaign (or a stray editor) mangles the primary.
+    (tmp_path / CAMPAIGN_HEALTH_NAME).write_text('{"generation": ')
+    assert load_campaign_health(tmp_path) == {"generation": 1}
+
+
+def test_damaged_primary_never_clobbers_good_backup(tmp_path):
+    write_campaign_health_payload(tmp_path, {"generation": 1})
+    write_campaign_health_payload(tmp_path, {"generation": 2})
+    (tmp_path / CAMPAIGN_HEALTH_NAME).write_text("not json at all")
+    # The next writer must not promote the garbage over the good copy.
+    write_campaign_health_payload(tmp_path, {"generation": 3})
+    assert load_campaign_health(tmp_path) == {"generation": 3}
+    backup = json.loads((tmp_path / CAMPAIGN_HEALTH_PREV_NAME).read_text())
+    assert backup == {"generation": 1}
+
+
+def test_missing_everything_is_none(tmp_path):
+    assert load_campaign_health(tmp_path) is None
+
+
+def test_non_object_primary_is_treated_as_damage(tmp_path):
+    (tmp_path / CAMPAIGN_HEALTH_NAME).write_text("[1, 2, 3]")
+    assert load_campaign_health(tmp_path) is None

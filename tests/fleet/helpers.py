@@ -1,0 +1,69 @@
+"""Shared scale and harness helpers for the fleet test suite.
+
+Every equivalence test here compares a chaos-ridden fleet against an
+uninterrupted reference at the same tiny scale, so the scale constants
+live in one place — and the reference is computed once per session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fleet import FleetCampaignConfig, run_fleet_campaign
+from repro.fleet.plan import ChaosSpec, IngestSpec
+from repro.fleet.supervisor import SupervisorPolicy
+
+#: Small enough to run in seconds, big enough to cross several rounds,
+#: checkpoints and restarts: ~8 rounds, checkpoint every 2.
+DAYS = 0.05
+BASE_CONCURRENCY = 120.0
+SEED = 11
+CHECKPOINT_EVERY = 2
+
+#: Tight liveness windows so hang detection fires in test time.
+FAST_POLICY = SupervisorPolicy(
+    heartbeat_timeout_s=5.0,
+    progress_timeout_s=30.0,
+    poll_interval_s=0.02,
+    backoff_base_s=0.01,
+    backoff_cap_s=0.05,
+)
+
+
+def fleet_config(
+    campaign_dir: Path,
+    *,
+    num_shards: int = 2,
+    chaos: dict[int, ChaosSpec] | None = None,
+    policy: SupervisorPolicy = FAST_POLICY,
+    seed: int = SEED,
+    days: float = DAYS,
+    checkpoint_every_rounds: int = CHECKPOINT_EVERY,
+    ingest: IngestSpec | None = None,
+) -> FleetCampaignConfig:
+    """A tiny fleet campaign config shared by all equivalence tests."""
+    return FleetCampaignConfig(
+        campaign_dir=campaign_dir,
+        num_shards=num_shards,
+        days=days,
+        base_concurrency=BASE_CONCURRENCY,
+        seed=seed,
+        checkpoint_every_rounds=checkpoint_every_rounds,
+        supervisor=policy,
+        chaos=chaos,
+        ingest=ingest,
+    )
+
+
+def run_reference(campaign_dir: Path, *, num_shards: int = 2):
+    """An uninterrupted fleet run at the shared scale."""
+    return run_fleet_campaign(fleet_config(campaign_dir, num_shards=num_shards))
+
+
+def fingerprints(result) -> dict[int, str]:
+    """Per-shard final RNG fingerprints of a finished fleet result."""
+    return {
+        sid: outcome.summary["rng_fingerprint"]
+        for sid, outcome in sorted(result.outcomes.items())
+        if outcome.summary is not None
+    }

@@ -1,0 +1,134 @@
+"""``repro run`` under real signals: graceful stop, resume, fidelity.
+
+These spawn the actual CLI as a subprocess, deliver SIGTERM mid-
+campaign, and verify the interruption contract end to end: exit code
+3, a final checkpoint on disk, a sealed resumable trace — and a
+``--resume`` run that converges on exactly the trace a never-signalled
+campaign produces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.experiments import load_campaign_health
+from repro.traces.segments import SegmentedTraceReader
+
+from tests.ingest.helpers import wait_until
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Long enough that SIGTERM always lands mid-campaign, short enough
+#: for test time: ~28 rounds, checkpoint every 2.
+DAYS = "0.2"
+RUN_FLAGS = [
+    "--days", DAYS,
+    "--base", "120",
+    "--seed", "11",
+    "--checkpoint-every", "2",
+]
+
+
+def spawn_run(trace_dir: Path, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "run",
+            "--trace-dir", str(trace_dir),
+            *RUN_FLAGS,
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def first_checkpoint_under(root: Path):
+    """Wait-predicate: any checkpoint envelope exists below ``root``."""
+    return lambda: next(root.glob("**/ckpt-*.bin"), None)
+
+
+def test_sigterm_checkpoints_seals_and_resume_matches_straight_run(tmp_path):
+    interrupted = tmp_path / "interrupted"
+    proc = spawn_run(interrupted)
+    wait_until(
+        first_checkpoint_under(interrupted),
+        timeout_s=60,
+        what="first checkpoint of the campaign",
+    )
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 3, out
+    assert "resume with --resume" in out
+    # Graceful contract: a checkpoint exists and the store is sealed
+    # (manifest present), so --resume needs no recovery pass.
+    assert (interrupted / "checkpoints").is_dir()
+    assert (interrupted / "manifest.json").exists()
+    health = load_campaign_health(interrupted)
+    assert health["interrupted"] is True
+
+    resume = spawn_run(interrupted, "--resume")
+    out, _ = resume.communicate(timeout=300)
+    assert resume.returncode == 0, out
+    assert "resumed from checkpoint" in out
+
+    straight_dir = tmp_path / "straight"
+    straight = spawn_run(straight_dir)
+    out, _ = straight.communicate(timeout=300)
+    assert straight.returncode == 0, out
+
+    resumed_health = load_campaign_health(interrupted)
+    straight_health = load_campaign_health(straight_dir)
+    assert resumed_health["interrupted"] is False
+    assert (
+        resumed_health["rng_fingerprint"] == straight_health["rng_fingerprint"]
+    )
+    assert list(SegmentedTraceReader(interrupted)) == list(
+        SegmentedTraceReader(straight_dir)
+    )
+
+
+def test_fleet_sigterm_interrupts_every_shard_and_resume_completes(tmp_path):
+    fleet_flags = [
+        "--shards", "2",
+        "--heartbeat-timeout", "60",
+        "--progress-timeout", "300",
+    ]
+    interrupted = tmp_path / "interrupted"
+    proc = spawn_run(interrupted, *fleet_flags)
+    wait_until(
+        first_checkpoint_under(interrupted / "shards"),
+        timeout_s=120,
+        what="first shard checkpoint",
+    )
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=120)
+    assert proc.returncode == 3, out
+    assert "resume" in out
+
+    resume = spawn_run(interrupted, "--resume", *fleet_flags)
+    out, _ = resume.communicate(timeout=600)
+    assert resume.returncode == 0, out
+
+    straight_dir = tmp_path / "straight"
+    straight = spawn_run(straight_dir, *fleet_flags)
+    out, _ = straight.communicate(timeout=600)
+    assert straight.returncode == 0, out
+
+    resumed = load_campaign_health(interrupted)
+    reference = load_campaign_health(straight_dir)
+    assert resumed["fleet"]["merged_sha256"] == reference["fleet"]["merged_sha256"]
+    assert {
+        sid: shard["rng_fingerprint"]
+        for sid, shard in resumed["fleet"]["shards"].items()
+    } == {
+        sid: shard["rng_fingerprint"]
+        for sid, shard in reference["fleet"]["shards"].items()
+    }

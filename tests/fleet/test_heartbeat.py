@@ -1,0 +1,35 @@
+"""The worker -> supervisor stdout event protocol."""
+
+from __future__ import annotations
+
+import io
+
+from repro.fleet.heartbeat import FLEET_PREFIX, emit_event, parse_event
+
+
+def test_emit_parse_round_trip():
+    buffer = io.StringIO()
+    emit_event(buffer, {"type": "heartbeat", "shard": 3, "round": 17})
+    line = buffer.getvalue()
+    assert line.startswith(FLEET_PREFIX)
+    assert line.endswith("\n")
+    assert parse_event(line) == {"type": "heartbeat", "shard": 3, "round": 17}
+
+
+def test_non_protocol_lines_are_ignored():
+    assert parse_event("some stray print\n") is None
+    assert parse_event("") is None
+
+
+def test_malformed_protocol_lines_are_noise_not_crashes():
+    # A worker SIGKILLed mid-write leaves half a JSON document.
+    assert parse_event(FLEET_PREFIX + '{"type": "heart') is None
+    # Valid JSON that is not an object is equally useless.
+    assert parse_event(FLEET_PREFIX + "[1, 2]") is None
+
+
+def test_events_serialise_deterministically():
+    a, b = io.StringIO(), io.StringIO()
+    emit_event(a, {"b": 1, "a": 2})
+    emit_event(b, {"a": 2, "b": 1})
+    assert a.getvalue() == b.getvalue()

@@ -1,0 +1,103 @@
+"""Deterministic shard merging: ordering, idempotence, invalidation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.merge import MERGE_MANIFEST_NAME, merge_shards
+from repro.fleet.plan import shard_dir
+from repro.traces.records import PeerReport
+from repro.traces.segments import SegmentedTraceReader, SegmentedTraceStore
+
+
+def report(time: float, ip: int, channel: int = 0) -> PeerReport:
+    return PeerReport(
+        time=time,
+        peer_ip=ip,
+        channel_id=channel,
+        buffer_fill=0.5,
+        playback_position=10,
+        download_capacity_kbps=1000.0,
+        upload_capacity_kbps=400.0,
+        recv_rate_kbps=400.0,
+        sent_rate_kbps=100.0,
+        partners=(),
+    )
+
+
+def write_shard(campaign_dir, sid: int, reports) -> None:
+    directory = shard_dir(campaign_dir, sid)
+    directory.mkdir(parents=True, exist_ok=True)
+    with SegmentedTraceStore(directory, records_per_segment=3) as store:
+        for r in reports:
+            store.append(r)
+
+
+def test_merge_orders_by_time_then_shard(tmp_path):
+    write_shard(tmp_path, 0, [report(10.0, 1), report(30.0, 1)])
+    write_shard(tmp_path, 1, [report(20.0, 2), report(30.0, 2)])
+    result = merge_shards(tmp_path, shard_ids=[0, 1])
+    merged = list(SegmentedTraceReader(tmp_path))
+    assert [r.time for r in merged] == [10.0, 20.0, 30.0, 30.0]
+    # The time tie is broken by shard id: shard 0's report first.
+    assert [r.peer_ip for r in merged] == [1, 2, 1, 2]
+    assert result.records == 4
+    assert result.shards == {0: 2, 1: 2}
+    assert not result.reused
+
+
+def test_merge_is_idempotent(tmp_path):
+    write_shard(tmp_path, 0, [report(1.0, 1)])
+    write_shard(tmp_path, 1, [report(2.0, 2)])
+    first = merge_shards(tmp_path, shard_ids=[0, 1])
+    second = merge_shards(tmp_path, shard_ids=[0, 1])
+    assert second.reused
+    assert second.content_sha256 == first.content_sha256
+    assert second.records == first.records
+
+
+def test_merge_redoes_when_inputs_change(tmp_path):
+    write_shard(tmp_path, 0, [report(1.0, 1)])
+    write_shard(tmp_path, 1, [report(2.0, 2)])
+    first = merge_shards(tmp_path, shard_ids=[0, 1])
+    # A shard grows (e.g. after its quarantine was lifted and it reran).
+    directory = shard_dir(tmp_path, 1)
+    store = SegmentedTraceStore.recover(directory)
+    store.append(report(3.0, 3))
+    store.close()
+    second = merge_shards(tmp_path, shard_ids=[0, 1])
+    assert not second.reused
+    assert second.records == first.records + 1
+    assert second.content_sha256 != first.content_sha256
+
+
+def test_merge_survives_a_killed_previous_merge(tmp_path):
+    write_shard(tmp_path, 0, [report(1.0, 1), report(2.0, 1)])
+    write_shard(tmp_path, 1, [report(1.5, 2)])
+    reference = merge_shards(tmp_path, shard_ids=[0, 1])
+    # Simulate a merge killed before its manifest was published: stale
+    # output segments exist, merge.json does not.
+    (tmp_path / MERGE_MANIFEST_NAME).unlink()
+    redone = merge_shards(tmp_path, shard_ids=[0, 1])
+    assert not redone.reused
+    assert redone.content_sha256 == reference.content_sha256
+
+
+def test_merge_manifest_is_sorted_json(tmp_path):
+    write_shard(tmp_path, 0, [report(1.0, 1)])
+    merge_shards(tmp_path, shard_ids=[0])
+    payload = json.loads((tmp_path / MERGE_MANIFEST_NAME).read_text())
+    assert set(payload) == {"inputs", "records", "content_sha256", "shards"}
+
+
+def test_merge_missing_shard_dir_raises(tmp_path):
+    write_shard(tmp_path, 0, [report(1.0, 1)])
+    with pytest.raises(FileNotFoundError):
+        merge_shards(tmp_path, shard_ids=[0, 1])
+
+
+def test_merge_requires_specs_or_ids(tmp_path):
+    with pytest.raises(ValueError):
+        merge_shards(tmp_path)

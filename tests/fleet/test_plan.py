@@ -1,0 +1,143 @@
+"""Shard planning: partition determinism, spec round trips, seeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.plan import (
+    ChaosSpec,
+    IngestSpec,
+    ShardSpec,
+    build_plan,
+    partition_channels,
+    shard_dir,
+    shard_seed,
+)
+from repro.simulator.channel import ChannelCatalogue, default_catalogue
+
+
+def test_partition_covers_every_channel_exactly_once():
+    catalogue = default_catalogue()
+    buckets = partition_channels(catalogue, 3)
+    seen = [c.channel_id for bucket in buckets for c in bucket]
+    assert sorted(seen) == sorted(c.channel_id for c in catalogue)
+    assert all(bucket for bucket in buckets)
+
+
+def test_partition_is_deterministic():
+    catalogue = default_catalogue()
+    first = partition_channels(catalogue, 4)
+    second = partition_channels(catalogue, 4)
+    assert first == second
+
+
+def test_partition_balances_share_mass():
+    catalogue = default_catalogue()
+    buckets = partition_channels(catalogue, 2)
+    masses = [sum(c.share for c in bucket) for bucket in buckets]
+    assert abs(masses[0] - masses[1]) < 0.25
+    assert abs(sum(masses) - 1.0) < 1e-9
+
+
+def test_partition_rejects_more_shards_than_channels():
+    catalogue = default_catalogue()
+    with pytest.raises(ValueError):
+        partition_channels(catalogue, len(catalogue) + 1)
+    with pytest.raises(ValueError):
+        partition_channels(catalogue, 0)
+
+
+def test_shard_seed_is_stable_and_collision_free():
+    assert shard_seed(2006, 0) == shard_seed(2006, 0)
+    # Neighbouring (seed, shard) pairs must not share streams.
+    assert shard_seed(7, 1) != shard_seed(8, 0)
+    seeds = {shard_seed(2006, sid) for sid in range(32)}
+    assert len(seeds) == 32
+
+
+def test_build_plan_splits_concurrency_by_share_mass():
+    catalogue = default_catalogue()
+    plan = build_plan(
+        "/tmp/x",
+        num_shards=3,
+        days=1.0,
+        base_concurrency=1000.0,
+        seed=1,
+        catalogue=catalogue,
+    )
+    total = sum(spec.base_concurrency for spec in plan)
+    assert total == pytest.approx(1000.0)
+    assert len(plan) == 3
+    for spec in plan:
+        assert spec.trace_dir.endswith(f"shard-{spec.shard_id:02d}")
+
+
+def test_spec_catalogue_renormalises_shares():
+    plan = build_plan(
+        "/tmp/x",
+        num_shards=4,
+        days=1.0,
+        base_concurrency=500.0,
+        seed=1,
+        catalogue=default_catalogue(),
+    )
+    for spec in plan:
+        sub = spec.catalogue()
+        assert isinstance(sub, ChannelCatalogue)
+        assert sum(c.share for c in sub) == pytest.approx(1.0)
+        # Channel identities survive renormalisation.
+        assert [c.channel_id for c in sub] == [
+            c.channel_id for c in spec.channels
+        ]
+
+
+def test_spec_json_round_trip(tmp_path):
+    plan = build_plan(
+        tmp_path,
+        num_shards=2,
+        days=0.5,
+        base_concurrency=100.0,
+        seed=9,
+        catalogue=default_catalogue(),
+        ingest=IngestSpec(host="127.0.0.1", tcp_port=1234, udp_port=1235),
+        chaos={1: ChaosSpec(mode="crash", at_round=3)},
+    )
+    for spec in plan:
+        restored = ShardSpec.from_json(spec.to_json())
+        assert restored == spec
+
+
+def test_scope_token_distinguishes_shards():
+    plan = build_plan(
+        "/tmp/x",
+        num_shards=2,
+        days=1.0,
+        base_concurrency=100.0,
+        seed=1,
+        catalogue=default_catalogue(),
+    )
+    tokens = {spec.scope_token() for spec in plan}
+    assert len(tokens) == 2
+
+
+def test_derived_seeds_differ_between_shards():
+    plan = build_plan(
+        "/tmp/x",
+        num_shards=4,
+        days=1.0,
+        base_concurrency=100.0,
+        seed=2006,
+        catalogue=default_catalogue(),
+    )
+    assert len({spec.derived_seed() for spec in plan}) == 4
+
+
+def test_chaos_spec_validation():
+    with pytest.raises(ValueError):
+        ChaosSpec(mode="explode", at_round=1)
+    with pytest.raises(ValueError):
+        ChaosSpec(mode="crash", at_round=0)
+
+
+def test_shard_dir_layout(tmp_path):
+    assert shard_dir(tmp_path, 7) == tmp_path / "shards" / "shard-07"

@@ -1,0 +1,137 @@
+"""The kill/restart matrix: every chaos mode resumes to the same bytes.
+
+Each test runs a real multi-process fleet campaign with a deterministic
+fault injected into one shard worker, then compares the merged trace
+content hash and every shard's final RNG fingerprint against an
+uninterrupted reference fleet at the same scale.  The reference runs
+once per module.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiments import load_campaign_health
+from repro.fleet import run_fleet_campaign
+from repro.fleet.plan import ChaosSpec
+
+from .helpers import fingerprints, fleet_config, run_reference
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    result = run_reference(tmp_path_factory.mktemp("reference") / "campaign")
+    assert result.completed and not result.quarantined
+    return result
+
+
+@pytest.mark.parametrize(
+    "chaos",
+    [
+        # SIGKILL mid-campaign, right after a round that is NOT a
+        # checkpoint boundary: resume replays from the last checkpoint.
+        ChaosSpec(mode="crash", at_round=3),
+        # SIGKILL immediately after truncating the newest checkpoint:
+        # resume must skip the torn envelope and use the previous one.
+        ChaosSpec(mode="torn-checkpoint", at_round=4),
+        # SIGKILL after appending half a record to the active segment:
+        # recovery must quarantine the torn tail and rewind.
+        ChaosSpec(mode="torn-segment", at_round=3),
+        # SIGKILL after rolling the manifest back one sealed segment:
+        # recovery must reconcile manifest vs on-disk segments.
+        ChaosSpec(mode="stale-manifest", at_round=3),
+    ],
+    ids=lambda c: c.mode,
+)
+def test_kill_matrix_resumes_to_identical_campaign(tmp_path, reference, chaos):
+    result = run_fleet_campaign(
+        fleet_config(tmp_path / "campaign", chaos={1: chaos})
+    )
+    assert result.completed
+    assert not result.quarantined
+    assert result.outcomes[1].restarts == 1
+    assert [i.kind for i in result.outcomes[1].incidents] == ["crash"]
+    assert result.merge.content_sha256 == reference.merge.content_sha256
+    assert fingerprints(result) == fingerprints(reference)
+
+
+def test_hung_worker_is_killed_and_resumed_identically(tmp_path, reference):
+    result = run_fleet_campaign(
+        fleet_config(
+            tmp_path / "campaign",
+            chaos={1: ChaosSpec(mode="hang", at_round=4)},
+        )
+    )
+    assert result.completed
+    assert result.outcomes[1].restarts == 1
+    assert [i.kind for i in result.outcomes[1].incidents] == ["hang"]
+    assert result.merge.content_sha256 == reference.merge.content_sha256
+    assert fingerprints(result) == fingerprints(reference)
+
+
+def test_poison_shard_is_quarantined_and_campaign_still_finishes(tmp_path):
+    # ``once=False`` + no checkpoint before the fault round means every
+    # restart replays straight into the same crash: a poison shard.
+    campaign_dir = tmp_path / "campaign"
+    result = run_fleet_campaign(
+        fleet_config(
+            campaign_dir,
+            num_shards=3,
+            checkpoint_every_rounds=50,
+            chaos={1: ChaosSpec(mode="crash", at_round=2, once=False)},
+        )
+    )
+    assert result.quarantined == [1]
+    assert result.outcomes[1].status == "quarantined"
+    assert result.outcomes[1].restarts == 3  # max_restarts exhausted
+    kinds = [i.kind for i in result.outcomes[1].incidents]
+    assert kinds == ["crash"] * 4 + ["quarantined"]
+    # The healthy shards still finished and merged.
+    assert result.outcomes[0].status == "done"
+    assert result.outcomes[2].status == "done"
+    assert result.merge is not None
+    assert set(result.merge.shards) == {0, 2}
+    # The incident is durable: health.json records the quarantine.
+    health = load_campaign_health(campaign_dir)
+    assert health["fleet"]["quarantined"] == [1]
+    incident_kinds = {i["kind"] for i in health["fleet"]["incidents"]}
+    assert "quarantined" in incident_kinds
+
+
+def test_supervisor_death_resume_skips_finished_shards(tmp_path):
+    # First supervisor run completes the whole fleet...
+    campaign_dir = tmp_path / "campaign"
+    first = run_fleet_campaign(fleet_config(campaign_dir))
+    assert first.completed
+    # ...then "the supervisor died and was rerun": every shard already
+    # has a valid done.json, so no worker is respawned and the merge is
+    # reused byte-for-byte.
+    second = run_fleet_campaign(fleet_config(campaign_dir))
+    assert second.completed
+    for outcome in second.outcomes.values():
+        assert outcome.status == "done"
+        assert outcome.restarts == 0
+    assert second.merge.reused
+    assert second.merge.content_sha256 == first.merge.content_sha256
+    assert fingerprints(second) == fingerprints(first)
+
+
+def test_worker_log_captures_stderr_noise(tmp_path):
+    campaign_dir = tmp_path / "campaign"
+    result = run_fleet_campaign(fleet_config(campaign_dir))
+    assert result.completed
+    for sid in result.outcomes:
+        log = campaign_dir / "shards" / f"shard-{sid:02d}" / "worker.log"
+        assert log.exists()
+
+
+def test_spec_is_persisted_next_to_the_shard(tmp_path):
+    campaign_dir = tmp_path / "campaign"
+    result = run_fleet_campaign(fleet_config(campaign_dir))
+    assert result.completed
+    spec_path = campaign_dir / "shards" / "shard-00" / "spec.json"
+    payload = json.loads(spec_path.read_text(encoding="utf-8"))
+    assert payload["shard_id"] == 0
+    assert payload["num_shards"] == 2

@@ -1,0 +1,111 @@
+"""The shard worker run loop, in process: heartbeats, done.json, stop."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.fleet.heartbeat import parse_event
+from repro.fleet.plan import build_plan
+from repro.fleet.worker import DONE_NAME, EXIT_INTERRUPTED, load_done, run_shard
+from repro.simulator.channel import default_catalogue
+from repro.traces.segments import SegmentedTraceReader
+
+
+def small_plan(campaign_dir, *, num_shards=2, days=0.02):
+    return build_plan(
+        campaign_dir,
+        num_shards=num_shards,
+        days=days,
+        base_concurrency=60.0,
+        seed=11,
+        catalogue=default_catalogue(),
+        checkpoint_every_rounds=2,
+    )
+
+
+def events_of(buffer: io.StringIO) -> list[dict]:
+    return [
+        event
+        for line in buffer.getvalue().splitlines()
+        for event in [parse_event(line + "\n")]
+        if event is not None
+    ]
+
+
+def test_run_shard_emits_protocol_and_done_marker(tmp_path):
+    spec = small_plan(tmp_path).specs[0]
+    out = io.StringIO()
+    code = run_shard(spec, out=out)
+    assert code == 0
+    events = events_of(out)
+    kinds = [e["type"] for e in events]
+    assert kinds[0] == "started"
+    assert kinds[-1] == "done"
+    heartbeats = [e for e in events if e["type"] == "heartbeat"]
+    assert [e["round"] for e in heartbeats] == list(
+        range(1, len(heartbeats) + 1)
+    )
+    done = load_done(spec.trace_dir)
+    assert done is not None
+    assert done["rounds_completed"] == heartbeats[-1]["round"]
+    assert done["rng_fingerprint"]
+    assert done["content_sha256"]
+    # The marker is valid JSON on disk (atomic write).
+    raw = json.loads((tmp_path / "shards" / "shard-00" / DONE_NAME).read_text())
+    assert raw == done
+
+
+class StopAfterChecks:
+    """Duck-typed stand-in for the signal Event: trips on the Nth poll.
+
+    ``run_campaign`` polls ``stop()`` once per completed round, so this
+    interrupts the worker after exactly ``n`` rounds — deterministic,
+    unlike delivering a real signal from a side thread.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.remaining = n
+
+    def is_set(self) -> bool:
+        self.remaining -= 1
+        return self.remaining <= 0
+
+
+def test_stop_interrupts_gracefully_and_resume_matches_straight_run(tmp_path):
+    plan_a = small_plan(tmp_path / "interrupted")
+    spec = plan_a.specs[0]
+
+    out = io.StringIO()
+    code = run_shard(spec, out=out, stop=StopAfterChecks(2))
+    assert code == EXIT_INTERRUPTED
+    events = events_of(out)
+    assert events[-1]["type"] == "interrupted"
+    assert [e["round"] for e in events if e["type"] == "heartbeat"] == [1, 2]
+    assert load_done(spec.trace_dir) is None  # not done, resumable
+
+    # Resuming (fresh process would do exactly this) finishes the span
+    # and produces the same trace as a never-interrupted shard.
+    code = run_shard(spec, out=io.StringIO())
+    assert code == 0
+
+    plan_b = small_plan(tmp_path / "straight")
+    straight = plan_b.specs[0]
+    assert run_shard(straight, out=io.StringIO()) == 0
+
+    resumed_done = load_done(spec.trace_dir)
+    straight_done = load_done(straight.trace_dir)
+    assert resumed_done["content_sha256"] == straight_done["content_sha256"]
+    assert resumed_done["rng_fingerprint"] == straight_done["rng_fingerprint"]
+
+
+def test_shard_traces_only_contain_own_channels(tmp_path):
+    plan = small_plan(tmp_path)
+    for spec in plan:
+        assert run_shard(spec, out=io.StringIO()) == 0
+    for spec in plan:
+        allowed = {c.channel_id for c in spec.channels}
+        seen = {
+            r.channel_id for r in SegmentedTraceReader(spec.trace_dir)
+        }
+        assert seen <= allowed

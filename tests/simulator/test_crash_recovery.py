@@ -290,3 +290,36 @@ class TestCheckpointEnvelope:
         path.write_bytes(b"not a checkpoint at all")
         with pytest.raises(CheckpointCorruptError):
             load_checkpoint(path)
+
+
+class TestCorruptSkipAccounting:
+    """Skipped torn envelopes are observable, not silent (satellite 3)."""
+
+    def test_latest_valid_counts_and_reports_skipped_envelopes(self, tmp_path):
+        from repro.obs import Observer
+
+        _, _, manager = run_until_killed(
+            tmp_path / "b", tmp_path / "ckpt", kill_after=12, every=3
+        )
+        newest = manager.checkpoints()[-1]
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 3])  # torn mid-write
+
+        obs = Observer()
+        reloaded = CheckpointManager(tmp_path / "ckpt", obs=obs)
+        found = reloaded.latest_valid()
+        assert found is not None
+        assert reloaded.corrupt_skipped == 1
+        assert obs.registry.counter("checkpoint.corrupt_skipped").value == 1
+
+    def test_clean_resume_counts_nothing(self, tmp_path):
+        from repro.obs import Observer
+
+        _, _, _ = run_until_killed(
+            tmp_path / "b", tmp_path / "ckpt", kill_after=6, every=3
+        )
+        obs = Observer()
+        reloaded = CheckpointManager(tmp_path / "ckpt", obs=obs)
+        assert reloaded.latest_valid() is not None
+        assert reloaded.corrupt_skipped == 0
+        assert obs.registry.counter("checkpoint.corrupt_skipped").value == 0
