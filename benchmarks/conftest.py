@@ -29,6 +29,9 @@ CACHE_DIR = Path(__file__).parent / ".cache"
 BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "8"))
 BENCH_BASE = float(os.environ.get("REPRO_BENCH_BASE", "1000"))
 BENCH_SEED = 2006
+#: partner-selection policy spec driving the flagship trace
+#: (NAME[:key=val,...] from the overlay registry)
+BENCH_POLICY = os.environ.get("REPRO_BENCH_POLICY", "uusee")
 #: process count for the parallel-analytics benchmarks; capped at the
 #: host's core count — on a single-core box pool fan-out only adds
 #: overhead, so the parallel benchmark degrades to the serial path
@@ -75,6 +78,7 @@ def flagship_trace() -> TraceReader:
         base_concurrency=BENCH_BASE,
         seed=BENCH_SEED,
         with_flash_crowd=True,
+        policy=BENCH_POLICY,
     )
 
 
@@ -159,6 +163,14 @@ def _benchmark_stats(config) -> dict[str, dict[str, object]]:
     return out
 
 
+def _policy_info(spec: str) -> dict[str, object]:
+    """Name/params/canonical-spec triple for the bench report config."""
+    from repro.overlay import canonical_spec, parse_policy_spec
+
+    name, params = parse_policy_spec(spec)
+    return {"name": name, "params": params, "spec": canonical_spec(name, params)}
+
+
 def _git_sha() -> str | None:
     """HEAD commit of the benchmarked tree, or None outside a checkout."""
     import subprocess
@@ -196,6 +208,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "base": BENCH_BASE,
             "peers": BENCH_BASE,
             "seed": BENCH_SEED,
+            "policy": _policy_info(BENCH_POLICY),
             "workers": BENCH_WORKERS,
             "git_sha": _git_sha(),
         },

@@ -19,7 +19,14 @@ Seven subcommands cover the whole pipeline:
 - ``info``     — summarise a trace (span, peers, reports, dynamics), or
   query a live ingest server's health with ``--server``;
 - ``obs``      — observability utilities (``obs summarize <dir>``);
-- ``qa``       — determinism & correctness static analysis (the CI gate).
+- ``qa``       — determinism & correctness static analysis (the CI gate);
+- ``compare-overlays`` — run the same deployment under every
+  partner-selection policy (``--policies``) and print the cross-policy
+  Magellan metric table (DESIGN.md Sec. 11).
+
+``simulate``/``run`` accept ``--policy NAME[:key=val,...]`` specs from
+the overlay registry (``uusee``, ``random``, ``tree``, ``locality``,
+``hamiltonian``, ``random-regular``, ``strandcast``).
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.core.report import (
 )
 from repro.obs.exporters import create_observer, finalize_observer
 from repro.obs.summarize import render_summary
+from repro.overlay import PolicyError, available_policies
 from repro.qa.cli import add_qa_arguments, run_qa
 from repro.simulator.checkpoint import CheckpointError
 from repro.simulator.protocol import SelectionPolicy
@@ -69,8 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=2006)
     sim.add_argument(
         "--policy",
-        choices=[p.value for p in SelectionPolicy],
         default=SelectionPolicy.UUSEE.value,
+        metavar="SPEC",
+        help="partner-selection policy spec NAME[:key=val,...] "
+        f"(available: {', '.join(available_policies())})",
     )
     sim.add_argument(
         "--no-flash-crowd",
@@ -122,8 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2006)
     run.add_argument(
         "--policy",
-        choices=[p.value for p in SelectionPolicy],
         default=SelectionPolicy.UUSEE.value,
+        metavar="SPEC",
+        help="partner-selection policy spec NAME[:key=val,...] "
+        f"(available: {', '.join(available_policies())})",
     )
     run.add_argument(
         "--no-flash-crowd", action="store_true",
@@ -267,6 +279,32 @@ def build_parser() -> argparse.ArgumentParser:
         "qa", help="determinism & correctness static analysis (REP rules)"
     )
     add_qa_arguments(qa)
+
+    cmp = sub.add_parser(
+        "compare-overlays",
+        help="run the same deployment under each partner policy and "
+        "print the cross-policy Magellan metric table",
+    )
+    cmp.add_argument(
+        "--policies",
+        default=",".join(ex.DEFAULT_OVERLAY_SPECS),
+        metavar="SPEC[,SPEC...]",
+        help="comma-separated policy specs to compare "
+        f"(default: {','.join(ex.DEFAULT_OVERLAY_SPECS)})",
+    )
+    cmp.add_argument("--hours", type=float, default=6.0, help="simulated hours per policy")
+    cmp.add_argument("--base", type=float, default=120.0, help="base concurrency")
+    cmp.add_argument("--seed", type=int, default=2006)
+    cmp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of the formatted table",
+    )
+    cmp.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the GitHub-flavoured markdown table (for EXPERIMENTS.md)",
+    )
     return parser
 
 
@@ -275,15 +313,62 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"simulating {args.days} days at base concurrency {args.base:.0f} "
         f"(seed {args.seed}, policy {args.policy}) ..."
     )
-    ex.run_simulation_to_trace(
-        args.out,
-        days=args.days,
-        base_concurrency=args.base,
-        seed=args.seed,
-        with_flash_crowd=not args.no_flash_crowd,
-        policy=SelectionPolicy(args.policy),
-    )
+    try:
+        ex.run_simulation_to_trace(
+            args.out,
+            days=args.days,
+            base_concurrency=args.base,
+            seed=args.seed,
+            with_flash_crowd=not args.no_flash_crowd,
+            policy=args.policy,
+        )
+    except PolicyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"trace written to {args.out}")
+    return 0
+
+
+def cmd_compare_overlays(args: argparse.Namespace) -> int:
+    specs = [s.strip() for s in args.policies.split(",") if s.strip()]
+    if not specs:
+        print("error: --policies lists no policy specs", file=sys.stderr)
+        return 2
+    if not args.json and not args.markdown:
+        # Keep the machine-readable outputs clean for redirection.
+        print(
+            f"comparing {len(specs)} overlays over {args.hours:g} h at base "
+            f"concurrency {args.base:.0f} (seed {args.seed}) ..."
+        )
+    try:
+        study = ex.compare_overlays(
+            specs,
+            hours=args.hours,
+            base_concurrency=args.base,
+            seed=args.seed,
+        )
+    except (PolicyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        doc = {
+            "hours": study.hours,
+            "base_concurrency": study.base_concurrency,
+            "seed": study.seed,
+            "random_intra_baseline": study.random_intra_baseline,
+            "rows": [dataclasses.asdict(row) for row in study.rows],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.markdown:
+        print(study.markdown())
+    else:
+        print(format_table(
+            list(ex.OVERLAY_TABLE_HEADERS),
+            [row.table_row() for row in study.rows],
+            title="overlay comparison",
+        ))
+    print(f"ISP-blind intra-ISP baseline: {study.random_intra_baseline:.3f}")
     return 0
 
 
@@ -471,7 +556,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 base_concurrency=args.base,
                 seed=args.seed,
                 with_flash_crowd=not args.no_flash_crowd,
-                policy=SelectionPolicy(args.policy),
+                policy=args.policy,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every_rounds=args.checkpoint_every,
                 keep_last=args.keep_last,
@@ -483,7 +568,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ingest=ingest,
                 obs=obs,
             )
-    except (CheckpointError, FileExistsError) as exc:
+    except (CheckpointError, FileExistsError, PolicyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -743,6 +828,17 @@ def _campaign_health_rows(health: dict[str, object]) -> list[list[object]]:
         ["rounds completed", health.get("rounds_completed", "?")],
         ["trace records", health.get("trace_records", "?")],
         ["resumed from round", health.get("resumed_from_round")],
+    ]
+    policy = health.get("policy")
+    if isinstance(policy, dict):
+        rows.append(["partner policy", policy.get("spec", policy.get("name", "?"))])
+        params = policy.get("params")
+        if isinstance(params, dict) and params:
+            rows.append([
+                "policy params",
+                ", ".join(f"{k}={v}" for k, v in sorted(params.items())),
+            ])
+    rows += [
         ["server-dropped reports", counters.get("server_dropped", 0)],
         ["quarantined records (recovery)", counters.get("quarantined", 0)],
         ["truncated lines (recovery)", counters.get("truncated_lines", 0)],
@@ -944,6 +1040,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_obs(args)
     if args.command == "qa":
         return run_qa(args)
+    if args.command == "compare-overlays":
+        return cmd_compare_overlays(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -39,6 +39,13 @@ from repro.core.timeseries import MetricFn, SnapshotSeries, observe
 from repro.graph.degree import DegreeDistribution
 from repro.ioutil import atomic_write_bytes
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
+from repro.overlay import (
+    PolicyError,
+    available_policies,
+    build_policy,
+    canonical_spec,
+    parse_policy_spec,
+)
 from repro.graph.smallworld import SmallWorldMetrics
 from repro.network.isp import IspDatabase, build_default_database
 from repro.simulator.channel import ChannelCatalogue
@@ -75,6 +82,33 @@ FIG4_SNAPSHOT_TIMES: dict[str, float] = {
 # ------------------------------------------------------------------ runner
 
 
+def normalize_policy(policy: SelectionPolicy | str) -> tuple[SelectionPolicy, str]:
+    """Map a policy argument to the ``(policy, overlay)`` config pair.
+
+    Legacy :class:`SelectionPolicy` values (and their bare spec strings)
+    keep driving the ``policy`` enum with an empty ``overlay`` — the
+    config token, checkpoint format and draw sequence of existing
+    campaigns are untouched.  Any other registry spec (``locality:mix=0.8``)
+    rides in ``SystemConfig.overlay`` in canonical form.  Raises
+    :class:`~repro.overlay.PolicyError` for unknown names or parameters.
+    """
+    if isinstance(policy, SelectionPolicy):
+        return policy, ""
+    name, params = parse_policy_spec(policy)
+    if name not in available_policies():
+        raise PolicyError(
+            f"unknown partner policy {name!r}; "
+            f"available: {', '.join(available_policies())}"
+        )
+    build_policy(policy)  # validate the parameters eagerly
+    if not params:
+        try:
+            return SelectionPolicy(name), ""
+        except ValueError:
+            pass
+    return SelectionPolicy.UUSEE, canonical_spec(name, params)
+
+
 def run_simulation_to_trace(
     path: str | Path,
     *,
@@ -82,7 +116,7 @@ def run_simulation_to_trace(
     base_concurrency: float = 1_000.0,
     seed: int = 2006,
     with_flash_crowd: bool = True,
-    policy: SelectionPolicy = SelectionPolicy.UUSEE,
+    policy: SelectionPolicy | str = SelectionPolicy.UUSEE,
     protocol: ProtocolConfig | None = None,
     catalogue: ChannelCatalogue | None = None,
     faults: FaultPlan | None = None,
@@ -99,11 +133,13 @@ def run_simulation_to_trace(
     (producing a dirty trace that needs the tolerant readers).
     """
     path = Path(path)
+    policy_enum, overlay = normalize_policy(policy)
     config = SystemConfig(
         seed=seed,
         base_concurrency=base_concurrency,
         flash_crowd=FlashCrowdEvent() if with_flash_crowd else None,
-        policy=policy,
+        policy=policy_enum,
+        overlay=overlay,
         protocol=protocol or ProtocolConfig(),
         faults=faults,
     )
@@ -133,6 +169,9 @@ class CampaignResult:
     interrupted: bool = False  # a stop signal cut the run short (checkpointed)
     rng_fingerprint: str | None = None  # final named-RNG state digest
     content_sha256: str | None = None  # trace content digest (local stores only)
+    policy_name: str = "uusee"  # partner-selection policy that drove the run
+    policy_params: dict[str, float] = dataclasses.field(default_factory=dict)
+    policy_spec: str = "uusee"  # canonical spec string (name[:k=v,...])
 
 
 def run_campaign(
@@ -142,7 +181,7 @@ def run_campaign(
     base_concurrency: float = 1_000.0,
     seed: int = 2006,
     with_flash_crowd: bool = True,
-    policy: SelectionPolicy = SelectionPolicy.UUSEE,
+    policy: SelectionPolicy | str = SelectionPolicy.UUSEE,
     protocol: ProtocolConfig | None = None,
     catalogue: ChannelCatalogue | None = None,
     faults: FaultPlan | None = None,
@@ -211,11 +250,13 @@ def run_campaign(
         Path(checkpoint_dir) if checkpoint_dir is not None
         else trace_dir / "checkpoints"
     )
+    policy_enum, overlay = normalize_policy(policy)
     config = SystemConfig(
         seed=seed,
         base_concurrency=base_concurrency,
         flash_crowd=FlashCrowdEvent() if with_flash_crowd else None,
-        policy=policy,
+        policy=policy_enum,
+        overlay=overlay,
         protocol=protocol or ProtocolConfig(),
         faults=faults,
     )
@@ -300,6 +341,7 @@ def run_campaign(
     content_sha: str | None = None
     if compute_content_sha and isinstance(store, SegmentedTraceStore):
         content_sha = store.content_sha256()
+    partner_policy = system.partner_policy
     result = CampaignResult(
         trace_dir=trace_dir,
         rounds_completed=system.rounds_completed,
@@ -309,6 +351,9 @@ def run_campaign(
         interrupted=not finished,
         rng_fingerprint=fingerprint,
         content_sha256=content_sha,
+        policy_name=partner_policy.name,
+        policy_params=dict(partner_policy.params),
+        policy_spec=partner_policy.spec(),
     )
     _write_campaign_health(result)
     return result
@@ -336,6 +381,11 @@ def _write_campaign_health(result: CampaignResult) -> None:
         "resumed_from_round": result.resumed_from_round,
         "interrupted": result.interrupted,
         "rng_fingerprint": result.rng_fingerprint,
+        "policy": {
+            "name": result.policy_name,
+            "params": result.policy_params,
+            "spec": result.policy_spec,
+        },
         "health": dataclasses.asdict(result.health),
     }
     write_campaign_health_payload(result.trace_dir, payload)
@@ -816,3 +866,162 @@ def fig8_reciprocity(
         obs=obs,
     )
     return Fig8Result(series=series)
+
+
+# -------------------------------------------------- overlay comparison
+
+
+#: The comparative overlay study's default line-up: the paper's protocol
+#: plus the four literature alternatives at their default parameters.
+DEFAULT_OVERLAY_SPECS: tuple[str, ...] = (
+    "uusee",
+    "locality:mix=0.75",
+    "hamiltonian:k=2",
+    "random-regular:d=4",
+    "strandcast",
+)
+
+#: Column headers of the overlay-comparison table, in row order.
+OVERLAY_TABLE_HEADERS: tuple[str, ...] = (
+    "policy",
+    "peers",
+    "partners (mean)",
+    "indegree (max)",
+    "C",
+    "C/C_rand",
+    "rho",
+    "intra-ISP in",
+    "quality",
+)
+
+
+@dataclass
+class OverlayStudyRow:
+    """One policy's Magellan metric suite over its final trace window."""
+
+    spec: str  # canonical policy spec that produced the run
+    num_peers: int  # stable peers in the measured snapshot
+    mean_partners: float  # Fig. 4/5: mean partner degree
+    max_indegree: int  # Fig. 4: max active indegree
+    clustering: float  # Fig. 7: clustering coefficient C
+    clustering_ratio: float  # Fig. 7: C / C_random
+    reciprocity: float  # Fig. 8: rho over all links
+    intra_isp_indegree: float  # Fig. 6: intra-ISP fraction of indegree
+    quality: float | None  # Fig. 3: satisfied fraction, channel 0
+
+    def table_row(self) -> list[object]:
+        """Row values matching :data:`OVERLAY_TABLE_HEADERS`."""
+        ratio = (
+            "inf" if self.clustering_ratio == float("inf")
+            else f"{self.clustering_ratio:.1f}"
+        )
+        return [
+            self.spec,
+            self.num_peers,
+            f"{self.mean_partners:.1f}",
+            self.max_indegree,
+            f"{self.clustering:.3f}",
+            ratio,
+            f"{self.reciprocity:.3f}",
+            f"{self.intra_isp_indegree:.3f}",
+            "n/a" if self.quality is None else f"{self.quality:.2f}",
+        ]
+
+
+@dataclass
+class OverlayComparison:
+    """Cross-policy study: one metric row per overlay, shared settings."""
+
+    rows: list[OverlayStudyRow]
+    random_intra_baseline: float  # ISP-blind intra-ISP expectation
+    hours: float
+    base_concurrency: float
+    seed: int
+
+    def markdown(self) -> str:
+        """The study as a GitHub-flavoured markdown table."""
+        lines = [
+            "| " + " | ".join(OVERLAY_TABLE_HEADERS) + " |",
+            "|" + "|".join("---" for _ in OVERLAY_TABLE_HEADERS) + "|",
+        ]
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(str(v) for v in row.table_row()) + " |"
+            )
+        return "\n".join(lines)
+
+
+def compare_overlays(
+    specs: Iterable[str] = DEFAULT_OVERLAY_SPECS,
+    *,
+    hours: float = 6.0,
+    base_concurrency: float = 120.0,
+    seed: int = 2006,
+    window_seconds: float = 600.0,
+    db: IspDatabase | None = None,
+    obs: AnyObserver = NULL_OBSERVER,
+) -> OverlayComparison:
+    """Run the same deployment under each overlay and measure it.
+
+    Every policy gets an identical simulator configuration (same seed,
+    same churn, same channel catalogue, no flash crowd) differing only
+    in ``SystemConfig.overlay``; the full Magellan metric suite then
+    reads each run's final trace window.  The per-policy rows land in
+    EXPERIMENTS.md's cross-policy table via ``repro compare-overlays``.
+    """
+    from repro.traces.store import InMemoryTraceStore
+
+    db = db or build_default_database()
+    rows: list[OverlayStudyRow] = []
+    for spec in specs:
+        policy_enum, overlay = normalize_policy(spec)
+        config = SystemConfig(
+            seed=seed,
+            base_concurrency=base_concurrency,
+            flash_crowd=None,
+            policy=policy_enum,
+            overlay=overlay,
+        )
+        store = InMemoryTraceStore()
+        system = UUSeeSystem(config, store, obs=obs)
+        with obs.span("overlay.run"):
+            system.run(seconds=hours * SECONDS_PER_HOUR)
+        final: tuple[float, list[PeerReport]] | None = None
+        for window_start, window_reports in iter_windows(store, window_seconds):
+            if window_reports:
+                final = (window_start, list(window_reports))
+        if final is None:
+            raise ValueError(
+                f"policy {spec!r} produced no reports in {hours} h; "
+                "raise --hours or --base"
+            )
+        with obs.span("analytics.snapshot"):
+            snapshot = build_snapshot(
+                final[1], time=final[0], window_seconds=window_seconds
+            )
+        degrees = degree_distributions(snapshot)
+        sw = small_world(snapshot, db=db, seed=seed)
+        rho = reciprocity_metrics(snapshot, db=db)
+        intra = intra_isp_degree_fractions(snapshot, db=db)
+        rows.append(
+            OverlayStudyRow(
+                spec=system.partner_policy.spec(),
+                num_peers=snapshot.num_stable,
+                mean_partners=degrees["partners"].mean(),
+                max_indegree=degrees["in"].max_degree(),
+                clustering=sw.clustering,
+                clustering_ratio=sw.clustering_ratio,
+                reciprocity=rho.all_links,
+                intra_isp_indegree=intra.indegree_fraction,
+                quality=streaming_quality(
+                    snapshot, channel_id=0, stream_rate_kbps=400.0
+                ),
+            )
+        )
+    return OverlayComparison(
+        rows=rows,
+        random_intra_baseline=random_intra_isp_baseline(db),
+        hours=hours,
+        base_concurrency=base_concurrency,
+        seed=seed,
+    )

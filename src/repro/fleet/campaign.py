@@ -26,6 +26,7 @@ from repro.fleet.supervisor import (
     SupervisorPolicy,
 )
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
+from repro.overlay import PolicyError, build_policy
 from repro.simulator.channel import ChannelCatalogue, default_catalogue
 from repro.traces.health import TraceHealth
 
@@ -148,6 +149,12 @@ def run_fleet_campaign(
     the run) interrupts every worker gracefully; the merge is then
     deferred to the next, uninterrupted, invocation.
     """
+    try:
+        # Fail before any worker spawns: a bad spec would otherwise
+        # crash every shard and read as a fleet-wide poison event.
+        build_policy(config.policy)
+    except PolicyError as exc:
+        raise ValueError(f"invalid partner policy: {exc}") from exc
     campaign_dir = Path(config.campaign_dir)
     campaign_dir.mkdir(parents=True, exist_ok=True)
     catalogue = (

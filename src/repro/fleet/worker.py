@@ -48,7 +48,6 @@ from repro.core.experiments import run_campaign
 from repro.fleet.heartbeat import emit_event
 from repro.fleet.plan import ChaosSpec, ShardSpec
 from repro.ioutil import atomic_write_bytes
-from repro.simulator.protocol import SelectionPolicy
 
 #: Exit code for a graceful (checkpointed, resumable) signal stop.
 EXIT_INTERRUPTED = 3
@@ -181,7 +180,7 @@ def run_shard(
         base_concurrency=spec.base_concurrency,
         seed=spec.derived_seed(),
         with_flash_crowd=spec.with_flash_crowd,
-        policy=SelectionPolicy(spec.policy),
+        policy=spec.policy,
         catalogue=spec.catalogue(),
         checkpoint_every_rounds=spec.checkpoint_every_rounds,
         keep_last=spec.keep_last,

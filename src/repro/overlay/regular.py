@@ -1,0 +1,118 @@
+"""d-regular random digraph: every viewer draws from d random members.
+
+Each viewer is assigned exactly ``d`` suppliers sampled uniformly
+(policy RNG) from the other live members of its channel — servers
+included, so the stream has entry points.  Churn triggers local
+rewiring: dead suppliers are replaced by fresh uniform samples, so the
+in-degree stays ``min(d, |channel| - 1)`` at all times (the invariant
+the overlay tests pin).  The resulting active topology is the classic
+random regular digraph baseline of Kim & Srikant (arxiv 1207.3110),
+with clustering near the G(n, m) baseline and no ISP locality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import ClassVar
+
+from repro.overlay.base import PartnerPolicy, PeerLike, PolicyError
+from repro.overlay.registry import derive_policy_seed, register
+
+
+@register
+class RandomRegularPolicy(PartnerPolicy):
+    """d-regular random supplier assignment with rewiring under churn."""
+
+    name: ClassVar[str] = "random-regular"
+
+    def __init__(self, *, seed: int = 0, d: float = 4, **params: float) -> None:
+        super().__init__(seed=seed, **params)
+        self.d = int(d)
+        if self.d < 1 or self.d != d:
+            raise PolicyError(f"random-regular d must be a positive integer, got {d}")
+        self._rng = random.Random(derive_policy_seed(seed, self.name))
+        #: channel -> viewer -> assigned supplier tuple.
+        self._assigned: dict[int, dict[int, tuple[int, ...]]] = {}
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"d": self.d}
+
+    # -- assignment maintenance -------------------------------------------
+
+    def _sync(self, channel_id: int) -> None:
+        """Drop dead nodes, rewire dead suppliers, top up joiners."""
+        engine = self.engine
+        members = sorted(
+            pid for pid, p in engine.peers.items() if p.channel_id == channel_id
+        )
+        member_set = set(members)
+        table = self._assigned.setdefault(channel_id, {})
+        for pid in sorted(pid for pid in table if pid not in member_set):
+            del table[pid]
+        want_cap = min(self.d, len(members) - 1)
+        for pid in members:
+            if engine.peers[pid].is_server:
+                continue
+            current = [s for s in table.get(pid, ()) if s in member_set]
+            if len(current) < want_cap:
+                have = set(current)
+                candidates = [
+                    c for c in members if c != pid and c not in have
+                ]
+                current.extend(
+                    self._rng.sample(candidates, want_cap - len(current))
+                )
+            elif len(current) > want_cap:
+                current = current[:want_cap]
+            table[pid] = tuple(current)
+
+    def assigned(self, channel_id: int) -> dict[int, tuple[int, ...]]:
+        """Copy of the channel's assignment table (for tests/inspection)."""
+        return dict(self._assigned.get(channel_id, {}))
+
+    # -- selection ---------------------------------------------------------
+
+    def select_suppliers(self, peer: PeerLike) -> None:
+        if peer.is_server:
+            return
+        engine = self.engine
+        self._sync(peer.channel_id)
+        chosen: set[int] = set()
+        for pid in self._assigned[peer.channel_id].get(peer.peer_id, ()):
+            other = engine.peers.get(pid)
+            if other is None:
+                continue
+            if pid not in peer.partners:
+                engine.connect(peer, other, engine.clock)
+            if pid in peer.partners:
+                chosen.add(pid)
+        peer.suppliers = chosen
+
+    def refine_suppliers(self, peer: PeerLike, *, sample_size: int = 10) -> None:
+        # Rewiring happens in _sync; re-derive the supplier set from it.
+        self.select_suppliers(peer)
+
+    # -- checkpoint obligations -------------------------------------------
+
+    def checkpoint_state(self) -> dict[str, object] | None:
+        return {
+            "rng": self._rng.getstate(),
+            "assigned": {
+                channel: dict(sorted(table.items()))
+                for channel, table in sorted(self._assigned.items())
+            },
+        }
+
+    def restore_checkpoint(self, state: dict[str, object] | None) -> None:
+        if state is None:
+            return
+        assigned = state["assigned"]
+        assert isinstance(assigned, dict)
+        self._rng.setstate(state["rng"])  # type: ignore[arg-type]
+        self._assigned = {
+            channel: dict(table) for channel, table in assigned.items()
+        }
+
+    def rng_state(self) -> object | None:
+        return self._rng.getstate()

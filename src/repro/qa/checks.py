@@ -86,9 +86,12 @@ WALL_CLOCK_CALLS = frozenset(
 #: exactly reproducible.  The fleet package joins for the same reason:
 #: supervisor liveness deadlines (heartbeat/progress timeouts, backoff
 #: scheduling) read time only through the injected Clock, so hang
-#: detection and restart cadence are testable with a ManualClock.
+#: detection and restart cadence are testable with a ManualClock.  The
+#: overlay package joins because partner policies run inside the
+#: simulated exchange rounds: any wall-clock read there would leak real
+#: time into partner selection and break campaign reproducibility.
 SIMULATED_TIME_SEGMENTS = frozenset(
-    {"simulator", "traces", "core", "obs", "ingest", "fleet"}
+    {"simulator", "traces", "core", "obs", "ingest", "fleet", "overlay"}
 )
 
 #: RNG methods whose result order depends on the order of their input.

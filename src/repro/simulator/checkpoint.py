@@ -137,6 +137,11 @@ def draw_fingerprint(system: UUSeeSystem) -> str:
         "fault": system._fault_rng.getstate(),
         "trace_server": system.trace_server._rng.getstate(),
     }
+    # Only policies owning a private stream contribute; legacy policies
+    # return None, keeping pre-overlay fingerprints byte-identical.
+    overlay_rng = system.exchange.partner_policy.rng_state()
+    if overlay_rng is not None:
+        states["overlay"] = overlay_rng
     digest = hashlib.sha256()
     for name in sorted(states):
         digest.update(name.encode("utf-8"))
@@ -208,6 +213,10 @@ def snapshot_system(
         },
         "server_allocator": _allocator_state(system._server_allocator),
         "departures": list(system._departures),
+        # None for the stateless legacy policies; a dict of the policy's
+        # own RNG state and topology structures otherwise, so a resumed
+        # overlay campaign continues draw-for-draw.
+        "overlay": system.exchange.partner_policy.checkpoint_state(),
         "next_peer_id": system._next_peer_id,
         "round_stats": system.round_stats,
         "totals": (
@@ -285,6 +294,11 @@ def restore_into(
         _restore_allocator(system._allocators[name], alloc_state)
     _restore_allocator(system._server_allocator, state["server_allocator"])
     system._departures = list(state["departures"])
+    # The matching policy is guaranteed by the config token above (the
+    # overlay spec is a SystemConfig field); .get() keeps checkpoints
+    # written before the overlay lab restorable.
+    system.exchange.clock = system.engine.now
+    system.exchange.partner_policy.restore_checkpoint(state.get("overlay"))
     system._next_peer_id = state["next_peer_id"]
     system.round_stats = state["round_stats"]
     (

@@ -31,6 +31,7 @@ from typing import NamedTuple
 
 from repro.network.latency import LatencyModel
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
+from repro.overlay import PartnerPolicy, build_policy
 from repro.simulator.channel import ChannelCatalogue
 from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Link, Peer
@@ -93,6 +94,7 @@ class ExchangeEngine:
         outages: OutageSchedule | None = None,
         faults: FaultPlan | None = None,
         obs: AnyObserver = NULL_OBSERVER,
+        partner_policy: PartnerPolicy | None = None,
     ) -> None:
         self.peers = peers
         self.catalogue = catalogue
@@ -108,6 +110,17 @@ class ExchangeEngine:
         self.faults = faults
         self.outages = self.faults.outages
         self.rng = random.Random(seed)
+        # Selection decisions are delegated to a PartnerPolicy
+        # (repro.overlay).  The default is built from the legacy enum so
+        # direct-engine construction keeps working; legacy policies share
+        # self.rng and reproduce the pre-extraction draws bit-for-bit.
+        if partner_policy is None:
+            partner_policy = build_policy(policy.value, seed=seed)
+        self.partner_policy = partner_policy
+        partner_policy.bind(self)
+        #: Simulated time of the engine's latest entry point; structured
+        #: policies timestamp the links they materialise with it.
+        self.clock = 0.0
         # links are mutual; last_active is tracked via Link.established_at
         # updates inside _record_transfer.
         # Channel rate and config are fixed for a run, so the per-channel
@@ -200,6 +213,7 @@ class ExchangeEngine:
 
     def bootstrap_peer(self, peer: Peer, now: float) -> int:
         """Tracker bootstrap + initial supplier selection; returns #partners."""
+        self.clock = now
         candidate_ids = self.tracker.bootstrap(
             peer.channel_id, peer.peer_id, self.config.bootstrap_partners
         )
@@ -250,6 +264,7 @@ class ExchangeEngine:
         bounded-exponential-backoff retry instead of starving silently;
         ``maintenance_tick`` fires the retry when it comes due.
         """
+        self.clock = now
         if not self._tracker_reachable(now):
             self._schedule_tracker_retry(peer, now)
             self.obs.count("faults.tracker_unreachable")
@@ -290,138 +305,33 @@ class ExchangeEngine:
         return 1.0 + (rtt_ms / 60.0) ** 2
 
     def _candidate_score(self, peer: Peer, pid: int, link: Link) -> float:
-        score = link.est_kbps / link.penalty
-        other = self.peers.get(pid)
-        if other is not None and peer.peer_id in other.suppliers:
-            # mutual exchange preference
-            score *= 1.0 + self.config.reciprocation_bonus
+        score: float = self.partner_policy.candidate_score(peer, pid, link)
         return score
 
     def select_suppliers(self, peer: Peer) -> None:
-        """(Re)build the active supplier set from the partner list."""
-        if peer.is_server:
-            return
-        cfg = self.config
-        consts = self._consts(peer.channel_id)
-        demand = consts.demand_standby
-        cap = consts.request_cap
-        peers_get = self.peers.get
-        policy = self.policy
-        peer_id = peer.peer_id
-        bonus1 = 1.0 + cfg.reciprocation_bonus
+        """(Re)build the active supplier set from the partner list.
 
-        candidates: list[tuple[float, int, Link]] = []
-        if policy is SelectionPolicy.UUSEE:
-            # Inlined _candidate_score: this loop dominates selection cost.
-            for pid, link in peer.partners.items():
-                other = peers_get(pid)
-                if other is None:
-                    continue
-                score = link.est_kbps / link.penalty
-                if peer_id in other.suppliers:
-                    score *= bonus1
-                candidates.append((score, pid, link))
-        else:
-            for pid, link in peer.partners.items():
-                other = peers_get(pid)
-                if other is None:
-                    continue
-                if policy is SelectionPolicy.TREE:
-                    if other.depth >= peer.depth and not other.is_server:
-                        continue
-                    score = link.est_kbps / link.penalty
-                elif policy is SelectionPolicy.RANDOM:
-                    score = self.rng.random()
-                else:
-                    score = self._candidate_score(peer, pid, link)
-                candidates.append((score, pid, link))
-        candidates.sort(key=lambda t: (-t[0], t[1]))
-
-        min_useful = cfg.min_useful_link_kbps
-        max_active = cfg.max_active_suppliers
-        chosen: set[int] = set()
-        expected = 0.0
-        for _, pid, link in candidates:
-            if expected >= demand or len(chosen) >= max_active:
-                break
-            est = link.est_kbps
-            contribution = max(min_useful, est if est < cap else cap)
-            chosen.add(pid)
-            expected += contribution
-        peer.suppliers = chosen
+        Delegates to the bound :class:`~repro.overlay.PartnerPolicy`;
+        the default ``uusee`` policy reproduces the pre-extraction
+        greedy loop draw-for-draw.
+        """
+        self.partner_policy.select_suppliers(peer)
 
     def refine_suppliers(self, peer: Peer, *, sample_size: int = 10) -> None:
         """Incremental improvement: drop useless suppliers, try new ones.
 
         Cheaper than full reselection and closer to how a running client
-        behaves: it reacts to measured throughput rather than re-ranking
-        everything.
+        behaves; delegated to the bound policy (structured overlays
+        re-derive the supplier set from their topology instead).
         """
-        if peer.is_server:
-            return
-        cfg = self.config
-        consts = self._consts(peer.channel_id)
-        demand = consts.demand_standby
-        cap = consts.request_cap
-
-        # Drop dead suppliers and those measured below the useful floor.
-        for pid in list(peer.suppliers):
-            other = self.peers.get(pid)
-            link = peer.partners.get(pid)
-            if other is None or link is None:
-                peer.suppliers.discard(pid)
-            elif link.est_kbps < cfg.min_useful_link_kbps:
-                peer.suppliers.discard(pid)
-
-        # Sorted so the float sum is identical regardless of set-table
-        # history (a checkpoint round-trip rebuilds the set and may
-        # change raw iteration order).
-        expected = sum(
-            min(peer.partners[pid].est_kbps, cap)
-            for pid in sorted(peer.suppliers)
-            if pid in peer.partners
-        )
-        if expected >= demand or len(peer.suppliers) >= cfg.max_active_suppliers:
-            return
-
-        # Try the best of a small random sample of non-supplier partners.
-        non_suppliers = [
-            pid for pid in peer.partners if pid not in peer.suppliers
-        ]
-        if not non_suppliers:
-            return
-        if len(non_suppliers) > sample_size:
-            pool = self.rng.sample(non_suppliers, sample_size)
-        else:
-            pool = non_suppliers
-        scored: list[tuple[float, int]] = []
-        for pid in pool:
-            other = self.peers.get(pid)
-            if other is None:
-                continue
-            if self.policy is SelectionPolicy.TREE and (
-                other.depth >= peer.depth and not other.is_server
-            ):
-                continue
-            link = peer.partners[pid]
-            if self.policy is SelectionPolicy.RANDOM:
-                scored.append((self.rng.random(), pid))
-            else:
-                scored.append((self._candidate_score(peer, pid, link), pid))
-        scored.sort(reverse=True)
-        for _, pid in scored:
-            if expected >= demand or len(peer.suppliers) >= cfg.max_active_suppliers:
-                break
-            link = peer.partners[pid]
-            peer.suppliers.add(pid)
-            est = link.est_kbps
-            expected += max(cfg.min_useful_link_kbps, est if est < cap else cap)
+        self.partner_policy.refine_suppliers(peer, sample_size=sample_size)
 
     # -- maintenance tick -------------------------------------------------------
 
     def maintenance_tick(self, peer: Peer, now: float) -> None:
         """Control-plane work a client does every few minutes."""
         cfg = self.config
+        self.clock = now
         if peer.next_tracker_retry <= now:
             self.tracker_contact(peer, now)
         self._clean_dead_partners(peer)
@@ -499,8 +409,7 @@ class ExchangeEngine:
             if len(their_ids) > 2 * k
             else their_ids
         )
-        if self.policy is not SelectionPolicy.RANDOM:
-            pool = sorted(pool, key=lambda pid: helper.partners[pid].rtt_ms)
+        pool = self.partner_policy.order_gossip_pool(helper, pool)
         for pid in pool[:k]:
             other = self.peers.get(pid)
             if other is not None and not other.is_server:
@@ -548,6 +457,7 @@ class ExchangeEngine:
         """One exchange round: demand spreading, allocation, accounting."""
         cfg = self.config
         stats = RoundStats(time=now)
+        self.clock = now
 
         # Pass 1: each viewer requests from its suppliers.
         # Request priority follows the selection score (measured
@@ -556,7 +466,7 @@ class ExchangeEngine:
         # that become *active*, exactly the paper's explanation of
         # ISP clustering (Sec. 4.2.3).  The RANDOM ablation removes
         # the bias here too (stable pseudo-random order per link).
-        blind = self.policy is SelectionPolicy.RANDOM
+        blind = self.partner_policy.blind_requests
         link_faults = self.faults.has_link_faults
         min_useful = cfg.min_useful_link_kbps
         peers = self.peers

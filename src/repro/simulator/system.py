@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro.network.bandwidth import BandwidthSampler
 from repro.network.ip import CidrBlock, IpAllocator
+from repro.overlay import build_policy
 from repro.network.isp import DEFAULT_ISPS, Isp, IspDatabase
 from repro.network.latency import LatencyModel
 from repro.obs.spans import NULL_OBSERVER, AnyObserver
@@ -64,6 +65,11 @@ class SystemConfig:
     weekend_boost: float = 1.07
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     policy: SelectionPolicy = SelectionPolicy.UUSEE
+    #: Overlay policy spec ``name[:key=val,...]`` (see ``repro.overlay``).
+    #: Overrides ``policy`` when non-empty.  Participates in the
+    #: checkpoint config token, so a campaign checkpointed under one
+    #: overlay refuses to resume under another.
+    overlay: str = ""
     sessions: SessionDurationModel = field(default_factory=SessionDurationModel)
     num_trackers: int = 1  # UUSee runs a tracker farm; 1 is equivalent
     #   for the topology metrics, >1 partitions the volunteer view
@@ -130,6 +136,12 @@ class UUSeeSystem:
             config.outages
         )
         self.peers: dict[int, Peer] = {}
+        # The overlay policy draws nothing from the master RNG: policies
+        # that need randomness derive their own stream from config.seed
+        # by hash, so enabling one cannot shift the seed_for() order.
+        self.partner_policy = build_policy(
+            config.overlay or config.policy.value, seed=config.seed
+        )
         self.exchange = ExchangeEngine(
             peers=self.peers,
             catalogue=self.catalogue,
@@ -140,6 +152,7 @@ class UUSeeSystem:
             seed=seed_for(),
             faults=self.faults,
             obs=obs,
+            partner_policy=self.partner_policy,
         )
         self._rng = random.Random(seed_for())
         self._allocators: dict[str, IpAllocator] = {

@@ -1,0 +1,243 @@
+"""Structural invariants of the non-legacy partner policies."""
+
+from repro.overlay import build_policy
+from repro.overlay.legacy import RandomPolicy, TreePolicy, UUSeePolicy
+from repro.overlay.hamiltonian import HamiltonianPolicy
+from repro.overlay.locality import LocalityPolicy
+from repro.overlay.regular import RandomRegularPolicy
+from repro.overlay.strandcast import StrandCastPolicy
+
+from tests.overlay.conftest import make_peer, make_world
+
+
+def is_single_cycle(nxt: dict[int, int], members: set[int]) -> bool:
+    """True when the successor map is one cycle covering ``members``."""
+    if set(nxt) != members:
+        return False
+    if not members:
+        return True
+    start = min(nxt)
+    cur = start
+    seen = set()
+    for _ in range(len(nxt)):
+        if cur in seen:
+            return False
+        seen.add(cur)
+        cur = nxt[cur]
+    return cur == start and seen == members
+
+
+class TestHamiltonian:
+    def test_cycles_cover_members_and_stay_cycles_under_churn(self):
+        peers, _, ex = make_world("hamiltonian:k=2", seed=3)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 9):
+            make_peer(peers, pid)
+        for pid in range(1, 9):
+            policy.select_suppliers(peers[pid])
+        members = set(peers)
+        cycles = policy.cycles(0)
+        assert len(cycles) == 2
+        assert all(is_single_cycle(nxt, members) for nxt in cycles)
+
+        # Churn: three leave, four join — every cycle must re-close over
+        # exactly the new membership.
+        for pid in (2, 5, 7):
+            del peers[pid]
+        for pid in range(20, 24):
+            make_peer(peers, pid)
+        for pid in sorted(peers):
+            if not peers[pid].is_server:
+                policy.select_suppliers(peers[pid])
+        members = set(peers)
+        cycles = policy.cycles(0)
+        assert all(is_single_cycle(nxt, members) for nxt in cycles)
+
+    def test_suppliers_are_cycle_predecessors(self):
+        peers, _, ex = make_world("hamiltonian:k=2", seed=3)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 7):
+            make_peer(peers, pid)
+        for pid in range(1, 7):
+            policy.select_suppliers(peers[pid])
+        cycles = policy.cycles(0)
+        for pid in range(1, 7):
+            peer = peers[pid]
+            preds = {
+                pred
+                for nxt in cycles
+                for pred, succ in nxt.items()
+                if succ == pid and pred != pid
+            }
+            assert peer.suppliers <= preds
+            assert len(peer.suppliers) <= 2
+            assert peer.suppliers <= set(peer.partners)
+
+    def test_refine_rederives_from_cycles(self):
+        peers, _, ex = make_world("hamiltonian:k=1", seed=1)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 5):
+            make_peer(peers, pid)
+        for pid in range(1, 5):
+            policy.select_suppliers(peers[pid])
+        before = {pid: set(peers[pid].suppliers) for pid in range(1, 5)}
+        for pid in range(1, 5):
+            policy.refine_suppliers(peers[pid])
+        assert {pid: set(peers[pid].suppliers) for pid in range(1, 5)} == before
+
+
+class TestRandomRegular:
+    def test_degree_is_min_d_members(self):
+        peers, _, ex = make_world("random-regular:d=4", seed=3)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 4):  # 4 members total -> want_cap = 3
+            make_peer(peers, pid)
+        for pid in range(1, 4):
+            policy.select_suppliers(peers[pid])
+        table = policy.assigned(0)
+        for pid in range(1, 4):
+            assert len(table[pid]) == 3
+            assert pid not in table[pid]
+            assert len(set(table[pid])) == 3
+
+    def test_rewires_after_churn(self):
+        peers, _, ex = make_world("random-regular:d=2", seed=3)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 8):
+            make_peer(peers, pid)
+        for pid in range(1, 8):
+            policy.select_suppliers(peers[pid])
+        del peers[3]
+        del peers[4]
+        for pid in sorted(peers):
+            if not peers[pid].is_server:
+                policy.select_suppliers(peers[pid])
+        table = policy.assigned(0)
+        assert 3 not in table and 4 not in table
+        alive = set(peers)
+        for pid, assigned in table.items():
+            assert len(assigned) == 2
+            assert set(assigned) <= alive - {pid}
+            assert peers[pid].suppliers <= set(assigned)
+
+
+class TestStrandCast:
+    def test_chain_covers_viewers_with_indegree_one(self):
+        peers, _, ex = make_world("strandcast", seed=0)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 6):
+            make_peer(peers, pid)
+        for pid in range(1, 6):
+            policy.select_suppliers(peers[pid])
+        chain = policy.chain(0)
+        assert sorted(chain) == list(range(1, 6))
+        # Head draws from the (lowest-numbered) server, everyone else
+        # from exactly its chain predecessor.
+        assert peers[chain[0]].suppliers == {0}
+        for prev_pid, pid in zip(chain, chain[1:]):
+            assert peers[pid].suppliers == {prev_pid}
+
+    def test_departure_bridges_preserving_order(self):
+        peers, _, ex = make_world("strandcast", seed=0)
+        policy = ex.partner_policy
+        make_peer(peers, 0, is_server=True)
+        for pid in range(1, 6):
+            make_peer(peers, pid)
+        for pid in range(1, 6):
+            policy.select_suppliers(peers[pid])
+        order = policy.chain(0)
+        victim = order[2]
+        del peers[victim]
+        for pid in sorted(peers):
+            if not peers[pid].is_server:
+                policy.select_suppliers(peers[pid])
+        assert policy.chain(0) == [pid for pid in order if pid != victim]
+        successor = order[3]
+        assert peers[successor].suppliers == {order[1]}
+
+
+class TestLocality:
+    def _select_intra_count(self, mix: float) -> tuple[int, int]:
+        """(intra-ISP suppliers, total suppliers) at the given mix."""
+        # 30 candidates at ~36 kbps each against a 736 kbps standby
+        # demand: the greedy fill stops after ~21, so selection is
+        # actually selective and the mix can show through.
+        peers, _, ex = make_world(f"locality:mix={mix:g}", seed=11)
+        policy = ex.partner_policy
+        viewer = make_peer(peers, 1, isp="China Telecom")
+        for pid in range(2, 17):
+            make_peer(peers, pid, isp="China Telecom")
+        for pid in range(17, 32):
+            make_peer(peers, pid, isp="China Netcom")
+        for pid in range(2, 32):
+            ex.connect(viewer, peers[pid], 0.0)
+        policy.select_suppliers(viewer)
+        intra = sum(
+            1 for pid in viewer.suppliers if peers[pid].isp == "China Telecom"
+        )
+        assert len(viewer.suppliers) < 30  # the fill actually selected
+        return intra, len(viewer.suppliers)
+
+    def test_mix_monotonically_shifts_intra_isp_fraction(self):
+        # Identical world and RNG stream at every mix: the score of an
+        # intra-ISP candidate relative to an inter-ISP one is monotone
+        # in mix, so the selected set can only get more local.
+        fractions = []
+        intra_counts = []
+        for mix in (0.0, 0.25, 0.5, 0.75, 1.0):
+            intra, total = self._select_intra_count(mix)
+            assert total > 0
+            fractions.append(intra / total)
+            intra_counts.append(intra)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > fractions[0]
+        # Pure locality ranks every same-ISP candidate above every
+        # inter-ISP one, so all 15 intra candidates are selected.
+        assert intra_counts[-1] == 15
+
+    def test_gossip_pool_prefers_same_isp(self):
+        peers, _, ex = make_world("locality:mix=1", seed=2)
+        policy = ex.partner_policy
+        helper = make_peer(peers, 1, isp="China Telecom")
+        same = make_peer(peers, 2, isp="China Telecom")
+        other = make_peer(peers, 3, isp="China Netcom")
+        ex.connect(helper, same, 0.0)
+        ex.connect(helper, other, 0.0)
+        ordered = policy.order_gossip_pool(helper, [3, 2])
+        assert ordered[0] == 2
+
+
+class TestFlagsAndState:
+    def test_only_random_is_blind(self):
+        assert RandomPolicy.blind_requests
+        for cls in (
+            UUSeePolicy,
+            TreePolicy,
+            LocalityPolicy,
+            HamiltonianPolicy,
+            RandomRegularPolicy,
+            StrandCastPolicy,
+        ):
+            assert not cls.blind_requests
+
+    def test_legacy_policies_have_no_private_state(self):
+        # None keeps the draw fingerprint and checkpoint payload of
+        # pre-overlay campaigns byte-identical.
+        for spec in ("uusee", "random", "tree"):
+            policy = build_policy(spec)
+            assert policy.rng_state() is None
+            assert policy.checkpoint_state() is None
+
+    def test_stateful_policies_expose_rng_state(self):
+        for spec in ("locality", "hamiltonian", "random-regular"):
+            assert build_policy(spec, seed=5).rng_state() is not None
+        # StrandCast is deterministic: chain state, no RNG stream.
+        strand = build_policy("strandcast")
+        assert strand.rng_state() is None
+        assert strand.checkpoint_state() is not None

@@ -286,3 +286,73 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "Analytics timings" in out
         assert "analytics.snapshot" in out
+
+
+class TestCompareOverlays:
+    def test_table_lists_every_policy(self, capsys):
+        rc = main(
+            [
+                "compare-overlays", "--policies", "uusee,strandcast",
+                "--hours", "1", "--base", "60", "--seed", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlay comparison" in out
+        assert "uusee" in out and "strandcast" in out
+        assert "intra-ISP baseline" in out
+
+    def test_json_document(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "compare-overlays", "--policies", "strandcast",
+                "--hours", "1", "--base", "60", "--seed", "5", "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rows"][0]["spec"] == "strandcast"
+        assert doc["rows"][0]["max_indegree"] == 1
+
+    def test_markdown_table(self, capsys):
+        rc = main(
+            [
+                "compare-overlays", "--policies", "strandcast",
+                "--hours", "1", "--base", "60", "--seed", "5", "--markdown",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| policy |")
+
+    def test_unknown_policy_fails_cleanly(self, capsys):
+        rc = main(["compare-overlays", "--policies", "nope"])
+        assert rc == 2
+        assert "unknown partner policy" in capsys.readouterr().err
+
+    def test_campaign_policy_spec_roundtrip(self, tmp_path, capsys):
+        rc = main(
+            [
+                "run", "--trace-dir", str(tmp_path / "camp"), "--days", "0.05",
+                "--base", "50", "--seed", "3", "--no-flash-crowd",
+                "--policy", "hamiltonian:k=2",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["info", "--trace", str(tmp_path / "camp")]) == 0
+        out = capsys.readouterr().out
+        assert "hamiltonian:k=2" in out
+        assert "k=2" in out
+
+    def test_simulate_rejects_bad_policy(self, tmp_path, capsys):
+        rc = main(
+            [
+                "simulate", "--out", str(tmp_path / "t.jsonl"),
+                "--days", "0.05", "--policy", "locality:mix=5",
+            ]
+        )
+        assert rc == 2
+        assert "mix must be in" in capsys.readouterr().err
