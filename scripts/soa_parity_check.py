@@ -1,0 +1,134 @@
+"""Quick twin-run parity probe: object vs soa engines, same scenario.
+
+Dev tool, not a test: runs both backends side by side and reports the
+first divergence in draw fingerprints, RoundStats, trace content and
+peer state.  The pinned variants live in tests/soa/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+from repro.simulator.checkpoint import draw_fingerprint
+from repro.simulator.system import SystemConfig, UUSeeSystem
+from repro.traces.store import InMemoryTraceStore
+
+
+def trace_sha(store: InMemoryTraceStore) -> str:
+    digest = hashlib.sha256()
+    for report in store:
+        digest.update(report.to_json().encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--seed", type=int, default=31)
+    ap.add_argument("--concurrency", type=float, default=120.0)
+    ap.add_argument("--rounds", type=int, default=18)
+    ap.add_argument("--overlay", default="")
+    ap.add_argument("--engine", default="soa-exact")
+    args = ap.parse_args()
+
+    def build(engine: str) -> tuple[UUSeeSystem, InMemoryTraceStore]:
+        store = InMemoryTraceStore()
+        config = SystemConfig(
+            seed=args.seed,
+            base_concurrency=args.concurrency,
+            flash_crowd=None,
+            overlay=args.overlay,
+            engine=engine,
+        )
+        return UUSeeSystem(config, store), store
+
+    obj, obj_store = build("object")
+    soa, soa_store = build(args.engine)
+    dt = obj.config.protocol.round_seconds
+    ok = True
+    for rnd in range(args.rounds):
+        obj.run(seconds=dt)
+        soa.run(seconds=dt)
+        fp_o, fp_s = draw_fingerprint(obj), draw_fingerprint(soa)
+        stats_o, stats_s = obj.round_stats[-1], soa.round_stats[-1]
+        if fp_o != fp_s:
+            print(f"round {rnd}: FINGERPRINT diverged {fp_o[:12]} {fp_s[:12]}")
+            ok = False
+        if stats_o != stats_s:
+            print(f"round {rnd}: RoundStats diverged:\n  {stats_o}\n  {stats_s}")
+            ok = False
+        if len(obj_store) != len(soa_store):
+            print(
+                f"round {rnd}: report counts diverged "
+                f"{len(obj_store)} vs {len(soa_store)}"
+            )
+            ok = False
+        if not ok:
+            # First divergence: dump a couple of peers for debugging.
+            for pid in list(obj.peers)[:3]:
+                po = obj.peers[pid]
+                ps = soa.peers.get(pid)
+                print(f"  obj peer {pid}: h={po.health!r} b={po.buffer_fill!r}")
+                if ps is not None:
+                    print(f"  soa peer {pid}: h={ps.health!r} b={ps.buffer_fill!r}")
+            return 1
+    sha_o, sha_s = trace_sha(obj_store), trace_sha(soa_store)
+    print(f"rounds={args.rounds} reports={len(obj_store)}")
+    print(f"fingerprint object == soa: {draw_fingerprint(obj) == draw_fingerprint(soa)}")
+    print(f"trace sha object: {sha_o}")
+    print(f"trace sha soa:    {sha_s}")
+    if sha_o != sha_s:
+        for i, (a, b) in enumerate(zip(obj_store, soa_store)):
+            if a != b:
+                print(f"first differing report #{i}:\n  {a}\n  {b}")
+                break
+        return 1
+    # Deep peer-state comparison at the end.
+    if set(obj.peers) != set(soa.peers):
+        print("peer id sets differ")
+        return 1
+    for pid, po in obj.peers.items():
+        ps = soa.peers[pid]
+        for name in (
+            "health",
+            "buffer_fill",
+            "recv_rate_kbps",
+            "sent_rate_kbps",
+            "playback_position",
+            "depth",
+            "next_report",
+            "suppliers",
+        ):
+            vo, vs = getattr(po, name), getattr(ps, name)
+            if vo != vs:
+                print(f"peer {pid}.{name}: {vo!r} != {vs!r}")
+                return 1
+        if set(po.partners) != set(ps.partners):
+            print(f"peer {pid} partner sets differ")
+            return 1
+        for qid, lo in po.partners.items():
+            ls = ps.partners[qid]
+            for name in (
+                "rtt_ms",
+                "cap_kbps",
+                "est_kbps",
+                "penalty",
+                "sent_segments",
+                "recv_segments",
+                "reported_sent",
+                "reported_recv",
+                "established_at",
+                "partner_ip",
+            ):
+                vo, vs = getattr(lo, name), getattr(ls, name)
+                if vo != vs:
+                    print(f"peer {pid} link {qid}.{name}: {vo!r} != {vs!r}")
+                    return 1
+    print("PARITY OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

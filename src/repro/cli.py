@@ -87,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the day-5 flash crowd event",
     )
+    sim.add_argument(
+        "--engine",
+        choices=("object", "soa", "soa-exact"),
+        default="object",
+        help="exchange backend: object (reference), soa (vectorised, "
+        "own RNG contract), soa-exact (vectorised gather, draw-identical "
+        "to object)",
+    )
 
     run = sub.add_parser(
         "run",
@@ -140,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-flash-crowd", action="store_true",
         help="disable the day-5 flash crowd event",
+    )
+    run.add_argument(
+        "--engine",
+        choices=("object", "soa", "soa-exact"),
+        default="object",
+        help="exchange backend (checkpoints pin it: resume with the "
+        "same --engine)",
     )
     run.add_argument(
         "--checkpoint-every", type=int, default=36, metavar="ROUNDS",
@@ -229,9 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--trace", type=Path, required=True)
     ana.add_argument(
         "--figure",
-        choices=FIGURES + ("all",),
+        choices=FIGURES + ("windows", "all"),
         default="all",
-        help="which figure to regenerate",
+        help="which figure to regenerate ('windows' is the incremental "
+        "per-window structure series; not part of 'all')",
+    )
+    ana.add_argument(
+        "--analytics",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="backend for --figure windows: delta-maintained state or "
+        "per-window snapshot kernels (identical output)",
     )
     ana.add_argument("--csv-dir", type=Path, help="also export series as CSV")
     ana.add_argument(
@@ -321,6 +344,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             with_flash_crowd=not args.no_flash_crowd,
             policy=args.policy,
+            engine=args.engine,
         )
     except PolicyError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -456,6 +480,7 @@ def _cmd_run_fleet(args: argparse.Namespace) -> int:
         records_per_segment=args.segment_records,
         compress=args.compress,
         fsync_on_flush=args.fsync,
+        engine=args.engine,
         supervisor=SupervisorPolicy(
             heartbeat_timeout_s=args.heartbeat_timeout,
             progress_timeout_s=args.progress_timeout,
@@ -566,6 +591,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 fsync_on_flush=args.fsync,
                 stop=stop.is_set,
                 ingest=ingest,
+                engine=args.engine,
                 obs=obs,
             )
     except (CheckpointError, FileExistsError, PolicyError) as exc:
@@ -808,6 +834,43 @@ def _analyze_fig8(trace, csv_dir, obs, workers=1):
     return {"columns": ["t_hours", "rho_all", "rho_intra", "rho_inter"], "rows": rows}
 
 
+def _analyze_windows(trace, csv_dir, obs, workers=1, analytics="incremental"):
+    series = ex.windowed_structure(
+        trace, mode=analytics, workers=workers, obs=obs
+    )
+    rows = [
+        [
+            t / 3600.0,
+            deg["partners"].num_peers,
+            deg["partners"].mean(),
+            rho,
+            clu,
+        ]
+        for t, deg, rho, clu in zip(
+            series.times,
+            series.values.get("degrees", ()),
+            series.values.get("reciprocity", ()),
+            series.values.get("clustering", ()),
+        )
+    ]
+    print(format_table(
+        ["t_hours", "peers", "mean partners", "rho", "C"],
+        rows,
+        title=f"per-window structure ({analytics})",
+    ))
+    if csv_dir:
+        write_csv(
+            csv_dir / "windows.csv",
+            ["t_hours", "peers", "mean_partners", "rho", "C"],
+            rows,
+        )
+    return {
+        "columns": ["t_hours", "peers", "mean_partners", "rho", "C"],
+        "rows": rows,
+        "analytics": analytics,
+    }
+
+
 _ANALYZERS = {
     "fig1": _analyze_fig1,
     "fig2": _analyze_fig2,
@@ -892,11 +955,18 @@ def _print_campaign_health(trace_path: Path) -> None:
     ))
 
 
-def _run_figures(trace, figures, csv_dir, obs, workers=1) -> dict[str, object]:
+def _run_figures(
+    trace, figures, csv_dir, obs, workers=1, analytics="incremental"
+) -> dict[str, object]:
     payloads: dict[str, object] = {}
     for fig in figures:
         try:
-            payloads[fig] = _ANALYZERS[fig](trace, csv_dir, obs, workers)
+            if fig == "windows":
+                payloads[fig] = _analyze_windows(
+                    trace, csv_dir, obs, workers, analytics
+                )
+            else:
+                payloads[fig] = _ANALYZERS[fig](trace, csv_dir, obs, workers)
         except ValueError as exc:
             payloads[fig] = {"skipped": str(exc)}
             print(f"{fig}: skipped ({exc})")
@@ -920,7 +990,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if args.json:
             with contextlib.redirect_stdout(io.StringIO()):
                 payloads = _run_figures(
-                    trace, figures, args.csv_dir, obs, args.workers
+                    trace, figures, args.csv_dir, obs, args.workers,
+                    args.analytics,
                 )
             doc: dict[str, object] = {"trace": str(args.trace), "figures": payloads}
             if args.tolerant:
@@ -930,7 +1001,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 doc["campaign_health"] = campaign_health
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:
-            _run_figures(trace, figures, args.csv_dir, obs, args.workers)
+            _run_figures(
+                trace, figures, args.csv_dir, obs, args.workers,
+                args.analytics,
+            )
             if args.tolerant:
                 print(format_trace_health(trace.health, title=f"trace health {args.trace}"))
             _print_campaign_health(args.trace)

@@ -122,6 +122,7 @@ def run_simulation_to_trace(
     faults: FaultPlan | None = None,
     channel_faults: ChannelFaults | None = None,
     trace_mode: str = "overwrite",
+    engine: str = "object",
     obs: AnyObserver = NULL_OBSERVER,
 ) -> Path:
     """Simulate a UUSee deployment and write its trace to ``path``.
@@ -131,6 +132,7 @@ def run_simulation_to_trace(
     injects infrastructure faults into the simulated system;
     ``channel_faults`` damages the report stream on its way to disk
     (producing a dirty trace that needs the tolerant readers).
+    ``engine`` picks the exchange backend (see ``SystemConfig.engine``).
     """
     path = Path(path)
     policy_enum, overlay = normalize_policy(policy)
@@ -142,6 +144,7 @@ def run_simulation_to_trace(
         overlay=overlay,
         protocol=protocol or ProtocolConfig(),
         faults=faults,
+        engine=engine,
     )
     with JsonlTraceStore(path, mode=trace_mode, obs=obs) as store:
         sink = (
@@ -197,6 +200,7 @@ def run_campaign(
     on_round: Callable[[int], None] | None = None,
     compute_content_sha: bool = False,
     ingest: "ReportClient | None" = None,
+    engine: str = "object",
     obs: AnyObserver = NULL_OBSERVER,
 ) -> CampaignResult:
     """Run a crash-safe campaign: segmented trace + periodic checkpoints.
@@ -241,7 +245,10 @@ def run_campaign(
     ``on_round`` fires after every completed round (heartbeats).
     ``checkpoint_scope`` narrows the checkpoint config token (shard
     identity); ``compute_content_sha`` additionally digests the final
-    trace content into ``CampaignResult.content_sha256``.
+    trace content into ``CampaignResult.content_sha256``.  ``engine``
+    picks the exchange backend (see ``SystemConfig.engine``); resumes
+    must use the engine that took the checkpoint (the config token
+    pins it).
     """
     if isinstance(resume, str) and resume != "auto":
         raise ValueError(f"resume must be True, False or 'auto', got {resume!r}")
@@ -259,6 +266,7 @@ def run_campaign(
         overlay=overlay,
         protocol=protocol or ProtocolConfig(),
         faults=faults,
+        engine=engine,
     )
     if ingest is not None:
         # Loss now happens on the real wire; the in-process coin flip
@@ -866,6 +874,80 @@ def fig8_reciprocity(
         obs=obs,
     )
     return Fig8Result(series=series)
+
+
+# ------------------------------------------- windowed structure series
+
+
+def _window_degrees(snapshot: TopologySnapshot) -> object:
+    return degree_distributions(snapshot)
+
+
+def _window_reciprocity(snapshot: TopologySnapshot) -> float:
+    from repro.graph.reciprocity import edge_reciprocity
+
+    return edge_reciprocity(snapshot.active_compact())
+
+
+def _window_clustering(snapshot: TopologySnapshot) -> float:
+    from repro.graph.clustering import average_clustering
+
+    return average_clustering(snapshot.stable_undirected_compact())
+
+
+#: The per-window structural metrics the incremental backend maintains,
+#: as snapshot-kernel functions for the full (recompute) backend.
+WINDOW_STRUCTURE_METRICS: dict[str, MetricFn] = {
+    "degrees": _window_degrees,
+    "reciprocity": _window_reciprocity,
+    "clustering": _window_clustering,
+}
+
+
+def windowed_structure(
+    trace: Iterable[PeerReport],
+    *,
+    mode: str = "incremental",
+    window_seconds: float = 600.0,
+    observe_every: float | None = None,
+    active_threshold: int = 10,
+    resync_every: int = 64,
+    workers: int = 1,
+    obs: AnyObserver = NULL_OBSERVER,
+) -> SnapshotSeries:
+    """Per-window degree/reciprocity/clustering series over a trace.
+
+    ``mode="incremental"`` streams the trace through
+    :class:`repro.soa.incremental.IncrementalWindowMetrics`, updating
+    delta-maintained state per window; ``mode="full"`` recomputes each
+    window's snapshot and runs the CSR kernels.  Both produce the same
+    series bit for bit — the incremental backend exists purely for
+    throughput.  ``workers`` only applies to ``mode="full"`` (the
+    incremental state is inherently serial); ``resync_every`` only to
+    ``mode="incremental"``.
+    """
+    if mode == "incremental":
+        from repro.soa.incremental import observe_incremental
+
+        return observe_incremental(
+            trace,
+            window_seconds=window_seconds,
+            observe_every=observe_every,
+            active_threshold=active_threshold,
+            resync_every=resync_every,
+            obs=obs,
+        )
+    if mode == "full":
+        return observe(
+            trace,
+            WINDOW_STRUCTURE_METRICS,
+            window_seconds=window_seconds,
+            observe_every=observe_every,
+            active_threshold=active_threshold,
+            workers=workers,
+            obs=obs,
+        )
+    raise ValueError(f"unknown analytics mode {mode!r} (incremental|full)")
 
 
 # -------------------------------------------------- overlay comparison

@@ -89,9 +89,11 @@ WALL_CLOCK_CALLS = frozenset(
 #: detection and restart cadence are testable with a ManualClock.  The
 #: overlay package joins because partner policies run inside the
 #: simulated exchange rounds: any wall-clock read there would leak real
-#: time into partner selection and break campaign reproducibility.
+#: time into partner selection and break campaign reproducibility.  The
+#: soa package is the simulator's hot path rehosted on flat arrays (plus
+#: the incremental analytics), so it inherits the simulator's rules.
 SIMULATED_TIME_SEGMENTS = frozenset(
-    {"simulator", "traces", "core", "obs", "ingest", "fleet", "overlay"}
+    {"simulator", "traces", "core", "obs", "ingest", "fleet", "overlay", "soa"}
 )
 
 #: RNG methods whose result order depends on the order of their input.

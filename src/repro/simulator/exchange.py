@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -37,6 +38,8 @@ from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Link, Peer
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.tracker import Tracker
+from repro.traces.records import PeerReport
+from repro.traces.reporter import build_report
 
 
 @dataclass
@@ -123,10 +126,40 @@ class ExchangeEngine:
         self.clock = 0.0
         # links are mutual; last_active is tracked via Link.established_at
         # updates inside _record_transfer.
-        # Channel rate and config are fixed for a run, so the per-channel
-        # derived constants (request cap, demand budget, fresh-link
-        # floors) are computed once here instead of in every hot call.
-        self._channel_consts: dict[int, ChannelConsts] = {}  # repro: noqa[REP101] pure memo cache; recomputed from fixed config
+        # Per-channel derived constants (request cap, demand budget,
+        # fresh-link floors) are computed once instead of in every hot
+        # call; anything that changes a channel's rate or the protocol
+        # config mid-run must call ``invalidate_channel_consts``.
+        self._channel_consts: dict[int, ChannelConsts] = {}
+
+    def invalidate_channel_consts(self, channel_id: int | None = None) -> None:
+        """Drop cached per-channel constants after a config change.
+
+        Must be called whenever a channel's rate or any protocol-config
+        field feeding :class:`ChannelConsts` changes mid-campaign —
+        otherwise the engine keeps allocating against stale demand and
+        request-cap values.  ``None`` invalidates every channel.
+        """
+        if channel_id is None:
+            self._channel_consts.clear()
+        else:
+            self._channel_consts.pop(channel_id, None)
+
+    # -- engine-specific peer representation hooks ---------------------------
+    #
+    # The object backend stores protocol state directly on Peer/Link, so
+    # these are identities; the SoA backend overrides them to move state
+    # into flat arrays (and back) at admission/departure/restore edges.
+
+    def adopt_peer(self, peer: Peer) -> Peer:
+        """Convert a freshly built peer into this engine's representation."""
+        return peer
+
+    def release_peer(self, peer: Peer) -> None:
+        """Reclaim engine resources for a departed/crashed peer."""
+
+    def adopt_restored(self) -> None:
+        """Rebuild engine state after ``self.peers`` was checkpoint-restored."""
 
     def _consts(self, channel_id: int) -> ChannelConsts:
         """Cached per-channel protocol constants."""
@@ -602,6 +635,29 @@ class ExchangeEngine:
                     stats.per_channel_satisfied.get(peer.channel_id, 0) + 1
                 )
         return stats
+
+    # -- measurement ----------------------------------------------------------
+
+    def emit_reports(
+        self,
+        cutoff: float,
+        interval: float,
+        receive: Callable[[PeerReport], bool],
+    ) -> None:
+        """Emit every report due strictly before ``cutoff``.
+
+        A report due exactly at the round boundary belongs to the next
+        round, which keeps the emitted trace non-decreasing across
+        report windows.  Report order — peers in dict order, a peer's
+        due reports in time order — is part of the draw contract: the
+        trace server consumes one loss draw per report.
+        """
+        for peer in self.peers.values():
+            if peer.is_server:
+                continue
+            while peer.next_report < cutoff:
+                receive(build_report(peer, peer.next_report))
+                peer.next_report += interval
 
     @staticmethod
     def _content_factor(supplier: Peer) -> float:

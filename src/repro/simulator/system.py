@@ -22,7 +22,8 @@ import heapq
 import math
 import random
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.network.bandwidth import BandwidthSampler
@@ -38,7 +39,6 @@ from repro.simulator.failures import FaultPlan, OutageSchedule
 from repro.simulator.peer import Peer
 from repro.simulator.protocol import ProtocolConfig, SelectionPolicy
 from repro.simulator.tracker import Tracker, TrackerPool
-from repro.traces.reporter import build_report
 from repro.traces.server import TraceServer
 from repro.traces.store import TraceStore
 from repro.workloads.churn import SessionDurationModel
@@ -81,6 +81,15 @@ class SystemConfig:
     servers_per_channel: int = 1
     server_upload_kbps: float = 24_000.0
     trace_loss_rate: float = 0.01
+    #: Exchange-engine backend: ``"object"`` (Peer/Link object graph),
+    #: ``"soa"`` (struct-of-arrays with fully vectorised numerics and
+    #: its own golden fingerprint) or ``"soa-exact"`` (struct-of-arrays,
+    #: bit-identical to ``"object"``).  The engine choice never changes
+    #: the *modelled* system, so it is excluded from the default
+    #: checkpoint config token (``token_exclude``); ``config_token``
+    #: appends an ``#engine=`` suffix for non-default engines instead,
+    #: keeping every pre-existing token byte-identical.
+    engine: str = field(default="object", metadata={"token_exclude": True})
 
     def population(self) -> PopulationModel:
         """The target-population model this config describes."""
@@ -89,6 +98,24 @@ class SystemConfig:
             weekend_boost=self.weekend_boost,
             flash_crowd=self.flash_crowd,
         )
+
+
+def _engine_class(name: str) -> Callable[..., ExchangeEngine]:
+    """Resolve an engine-backend name to an ExchangeEngine constructor."""
+    if name == "object":
+        return ExchangeEngine
+    if name in ("soa", "soa-exact"):
+        # Imported lazily: repro.soa depends on repro.simulator.
+        from repro.soa.engine import SoAExchangeEngine
+
+        return partial(
+            SoAExchangeEngine,
+            numerics="exact" if name == "soa-exact" else "fast",
+        )
+    raise ValueError(
+        f"unknown engine backend {name!r} "
+        "(expected 'object', 'soa' or 'soa-exact')"
+    )
 
 
 class UUSeeSystem:
@@ -102,7 +129,11 @@ class UUSeeSystem:
         catalogue: ChannelCatalogue | None = None,
         isps: tuple[Isp, ...] = DEFAULT_ISPS,
         obs: AnyObserver = NULL_OBSERVER,
+        engine: str | None = None,
     ) -> None:
+        if engine is not None and engine != config.engine:
+            config = replace(config, engine=engine)
+        engine_cls = _engine_class(config.engine)
         self.config = config
         # Observability only *observes*: it draws nothing from the master
         # RNG (the seed_for() order below is a compatibility contract).
@@ -142,7 +173,7 @@ class UUSeeSystem:
         self.partner_policy = build_policy(
             config.overlay or config.policy.value, seed=config.seed
         )
-        self.exchange = ExchangeEngine(
+        self.exchange = engine_cls(
             peers=self.peers,
             catalogue=self.catalogue,
             tracker=self.tracker,
@@ -198,6 +229,7 @@ class UUSeeSystem:
                     depart_time=float("inf"),
                     is_server=True,
                 )
+                server = self.exchange.adopt_peer(server)
                 server.health = 1.0
                 server.buffer_fill = 1.0
                 self.peers[peer_id] = server
@@ -329,6 +361,7 @@ class UUSeeSystem:
             join_time=join_time,
             depart_time=join_time + duration,
         )
+        peer = self.exchange.adopt_peer(peer)
         peer.next_report = join_time + self.config.protocol.first_report_delay_s
         # Spread maintenance ticks uniformly across the tick period.
         peer.last_tick = join_time - self._rng.uniform(
@@ -351,6 +384,7 @@ class UUSeeSystem:
             if peer is None:
                 continue
             self.tracker.unregister(peer.channel_id, peer_id)
+            self.exchange.release_peer(peer)
             self.total_departures += 1
             # Partners discover the departure lazily at their next tick;
             # the trace keeps the stale entries, exactly as real partner
@@ -375,7 +409,7 @@ class UUSeeSystem:
             if not peer.is_server and self._fault_rng.random() < p_crash
         ]
         for peer_id in victims:
-            del self.peers[peer_id]
+            self.exchange.release_peer(self.peers.pop(peer_id))
             self.total_crashes += 1
 
     # -- control plane ----------------------------------------------------------
@@ -392,16 +426,7 @@ class UUSeeSystem:
 
     def _emit_reports(self, cutoff: float) -> None:
         interval = self.config.protocol.report_interval_s
-        for peer in self.peers.values():
-            if peer.is_server:
-                continue
-            # Strictly before the cutoff: a report due exactly at the round
-            # boundary belongs to the next round, which keeps the emitted
-            # trace non-decreasing across report windows.
-            while peer.next_report < cutoff:
-                report = build_report(peer, peer.next_report)
-                self.trace_server.receive(report)
-                peer.next_report += interval
+        self.exchange.emit_reports(cutoff, interval, self.trace_server.receive)
 
     # -- inspection helpers ------------------------------------------------------
 

@@ -1,0 +1,25 @@
+"""Struct-of-arrays exchange backend (``--engine soa``).
+
+``repro.soa`` keeps per-peer and per-partner protocol state in flat
+numpy arrays so the exchange data plane — request scoring, capacity
+allocation, viewer accounting, report emission, estimate maintenance —
+runs as vectorised passes over the whole mesh instead of per-object
+Python loops.  Peers and links are exposed through array-backed view
+objects that subclass the object backend's ``Peer``/``Link``, so the
+``PartnerPolicy`` seam, the tracker/gossip control plane and the
+checkpoint machinery run unchanged — and draw-for-draw identically —
+on either backend (see DESIGN §12 for the bit-compatibility contract).
+"""
+
+from repro.soa.engine import SoAExchangeEngine
+from repro.soa.incremental import IncrementalWindowMetrics, observe_incremental
+from repro.soa.state import SoALink, SoAPeer, SoAState
+
+__all__ = [
+    "IncrementalWindowMetrics",
+    "SoAExchangeEngine",
+    "SoALink",
+    "SoAPeer",
+    "SoAState",
+    "observe_incremental",
+]

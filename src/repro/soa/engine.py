@@ -1,0 +1,845 @@
+"""Vectorised exchange engine over struct-of-arrays state.
+
+``SoAExchangeEngine`` subclasses the object backend's
+:class:`~repro.simulator.exchange.ExchangeEngine` and replaces the data
+plane with flat array passes.  It runs in one of two numerics modes:
+
+``numerics="exact"`` (engine ``soa-exact``)
+    Request scoring is one gather + ``lexsort`` over every (viewer,
+    supplier) pair, but the greedy demand fill and the capacity
+    allocation keep the object backend's exact Python float
+    accumulation order, so per-supplier sums — and therefore every
+    draw, every report and the golden trace fingerprint — are
+    bit-identical to the object backend.  This mode powers the
+    cross-backend parity harness.
+
+``numerics="fast"`` (engine ``soa``, the default)
+    Every pass is vectorised end to end: the demand fill becomes a
+    prefix-sum over lexsorted request rows, supplier allocation a
+    segmented reduction, and depth propagation a segmented minimum
+    over the *pre-round* depth column.  This renegotiates the
+    bit-compatibility contract: float accumulation becomes pairwise
+    (NumPy) instead of sequential (Python), and depth updates read the
+    previous round's snapshot instead of sequentially-updated values.
+    Requests, transfers and the RNG *draw sequence* of the control
+    plane are unchanged; only low-order float bits and depth timing
+    differ, so the fast mode carries its own golden fingerprint
+    (DESIGN §12 records the renegotiation; the golden tests pin both
+    backends independently).
+
+Shared by both modes:
+
+- ``emit_reports``: per-partner report deltas, truncations and ports
+  for every due reporter are computed in one batch;
+- ``_recover_estimates`` / ``_prune_idle_partners``: per-peer array
+  scans instead of per-link attribute chasing.
+
+Everything that consumes randomness — gossip, tracker contact,
+bootstrap, supplier refinement — runs the *inherited* object-backend
+code over the array-backed views, so all backends draw from the same
+named streams in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, cast
+
+import numpy as np
+
+from repro.simulator.exchange import ExchangeEngine, RoundStats
+from repro.simulator.peer import Link, Peer
+from repro.soa.state import SoALink, SoAPeer, SoAState
+from repro.traces.records import PartnerRecord, PeerReport
+from repro.traces.reporter import build_report
+
+
+class SoAExchangeEngine(ExchangeEngine):
+    """Struct-of-arrays implementation of the exchange engine.
+
+    ``numerics`` selects the data-plane float contract: ``"fast"``
+    (vectorised reductions, renegotiated accumulation order, own golden
+    fingerprint) or ``"exact"`` (bit-identical to the object backend).
+    """
+
+    def __init__(self, *, numerics: str = "fast", **kwargs: Any) -> None:
+        if numerics not in ("fast", "exact"):
+            raise ValueError(f"unknown SoA numerics mode: {numerics!r}")
+        super().__init__(**kwargs)
+        self.numerics = numerics
+        self.state = SoAState()
+        # First-seen ISP -> dense index, for per-round fault tables.
+        self._isp_index: dict[str, int] = {}
+
+    # -- state management ---------------------------------------------------
+
+    def _soa_peers(self) -> Iterator[SoAPeer]:
+        for peer in self.peers.values():
+            yield cast(SoAPeer, peer)
+
+    def adopt_peer(self, peer: Peer) -> Peer:
+        """Move a plain peer (and its links) into array rows."""
+        if isinstance(peer, SoAPeer):
+            return peer
+        st = self.state
+        slot = st.alloc_peer()
+        view = SoAPeer.__new__(SoAPeer)
+        view.st = st
+        view.slot = slot
+        for name in (
+            "peer_id",
+            "ip",
+            "isp",
+            "is_china",
+            "is_server",
+            "channel_id",
+            "upload_kbps",
+            "download_kbps",
+            "class_name",
+            "join_time",
+            "depart_time",
+            "last_tick",
+            "next_report",
+            "volunteered",
+            "starving_ticks",
+            "depth",
+            "registered",
+            "tracker_failures",
+            "next_tracker_retry",
+        ):
+            setattr(view, name, getattr(peer, name))
+        st.p_alive[slot] = True
+        st.p_channel[slot] = peer.channel_id
+        st.p_rate[slot] = self._consts(peer.channel_id).rate_kbps
+        st.p_health[slot] = peer.health
+        st.p_buffer[slot] = peer.buffer_fill
+        st.p_recv[slot] = peer.recv_rate_kbps
+        st.p_sent[slot] = peer.sent_rate_kbps
+        st.p_playback[slot] = peer.playback_position
+        st.p_depth[slot] = peer.depth
+        st.p_up[slot] = peer.upload_kbps
+        st.p_server[slot] = peer.is_server
+        st.p_isp[slot] = self._isp_index.setdefault(peer.isp, len(self._isp_index))
+        partners: dict[int, Link] = {}
+        edge_ids: list[int] = []
+        pid_ids: list[int] = []
+        for pid, link in peer.partners.items():
+            e = st.alloc_edge(
+                rtt_ms=link.rtt_ms,
+                cap_kbps=link.cap_kbps,
+                est_kbps=link.est_kbps,
+                established_at=link.established_at,
+                partner_ip=link.partner_ip,
+                penalty=link.penalty,
+                sent=link.sent_segments,
+                recv=link.recv_segments,
+                rep_sent=link.reported_sent,
+                rep_recv=link.reported_recv,
+            )
+            partners[pid] = SoALink(st, e)
+            edge_ids.append(e)
+            pid_ids.append(pid)
+        view.partners = partners
+        view.edge_ids = edge_ids
+        view.pid_ids = pid_ids
+        # Topology columns (e_pslot/e_pgen/e_mirror) for pre-existing
+        # links are wired by adopt_restored's second pass, once every
+        # endpoint has a slot; freshly admitted peers have no partners.
+        view.suppliers = set(peer.suppliers)
+        return view
+
+    def release_peer(self, peer: Peer) -> None:
+        """Return a departed peer's rows to the pools.
+
+        Partners' rows *toward* the departed peer are reclaimed lazily
+        when their owners clean dead partners, exactly when the object
+        backend forgets the corresponding ``Link`` objects.
+        """
+        view = cast(SoAPeer, peer)
+        st = self.state
+        for link in view.partners.values():
+            st.free_edge(cast(SoALink, link).e)
+        st.free_peer(view.slot)
+
+    def adopt_restored(self) -> None:
+        """Re-adopt every peer after a checkpoint restore.
+
+        ``restore_into`` refills ``self.peers`` with plain objects; this
+        rebuilds the arrays in dict order (key reassignment preserves
+        the order the object backend relies on) from a fresh pool, so
+        row packing after resume never affects behaviour — no reduction
+        in this engine depends on row order.
+        """
+        self.state = SoAState()
+        self._isp_index = {}
+        for pid in list(self.peers):
+            self.peers[pid] = self.adopt_peer(self.peers[pid])
+        # Second pass: every endpoint now has a slot, so wire the
+        # topology columns.  Links toward peers that are gone keep the
+        # allocation sentinels (-1), which can never pass the
+        # generation check the fast data plane applies.
+        st = self.state
+        for view in self._soa_peers():
+            for pid, link in view.partners.items():
+                partner = self.peers.get(pid)
+                if partner is None:
+                    continue
+                e = cast(SoALink, link).e
+                pview = cast(SoAPeer, partner)
+                st.e_pslot[e] = pview.slot
+                st.e_pgen[e] = st.p_gen[pview.slot]
+                back = pview.partners.get(view.peer_id)
+                if back is not None:
+                    st.e_mirror[e] = cast(SoALink, back).e
+
+    def invalidate_channel_consts(self, channel_id: int | None = None) -> None:
+        """Drop cached per-channel consts and refresh per-slot copies."""
+        super().invalidate_channel_consts(channel_id)
+        st = self.state
+        for view in self._soa_peers():
+            if channel_id is None or view.channel_id == channel_id:
+                st.p_rate[view.slot] = self._consts(view.channel_id).rate_kbps
+
+    # -- partnership management --------------------------------------------
+
+    def connect(self, a: Peer, b: Peer, now: float) -> bool:
+        """Same decision sequence as the object backend, row-backed links."""
+        if a.peer_id == b.peer_id:
+            return False
+        if b.peer_id in a.partners:
+            return False
+        if self.faults.has_link_faults and self.faults.link_blocked(
+            a.isp, b.isp, now
+        ):
+            self.obs.count("faults.link_blocked")
+            return False
+        limit_b = self.config.max_partners * (4 if b.is_server else 1)
+        if len(b.partners) >= limit_b:
+            return False
+        if len(a.partners) >= self.config.max_partners:
+            return False
+        quality = self.latency.sample_link(
+            a.isp, b.isp, a_china=a.is_china, b_china=b.is_china
+        )
+        neutral = min(
+            self._consts(a.channel_id).neutral_hi,
+            quality.throughput_kbps * 0.5,
+        )
+        st = self.state
+        e_ab = st.alloc_edge(
+            rtt_ms=quality.rtt_ms,
+            cap_kbps=quality.throughput_kbps,
+            est_kbps=neutral,
+            established_at=now,
+            partner_ip=b.ip,
+        )
+        e_ba = st.alloc_edge(
+            rtt_ms=quality.rtt_ms,
+            cap_kbps=quality.throughput_kbps,
+            est_kbps=neutral,
+            established_at=now,
+            partner_ip=a.ip,
+        )
+        av = cast(SoAPeer, a)
+        bv = cast(SoAPeer, b)
+        st.e_mirror[e_ab] = e_ba
+        st.e_mirror[e_ba] = e_ab
+        st.e_pslot[e_ab] = bv.slot
+        st.e_pgen[e_ab] = st.p_gen[bv.slot]
+        st.e_pslot[e_ba] = av.slot
+        st.e_pgen[e_ba] = st.p_gen[av.slot]
+        a.partners[b.peer_id] = SoALink(st, e_ab)
+        b.partners[a.peer_id] = SoALink(st, e_ba)
+        av.edge_ids.append(e_ab)
+        av.pid_ids.append(b.peer_id)
+        bv.edge_ids.append(e_ba)
+        bv.pid_ids.append(a.peer_id)
+        self.obs.count("exchange.connects")
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def _recover_estimates(self, peer: Peer) -> None:
+        partners = peer.partners
+        if not partners:
+            return
+        st = self.state
+        cap06 = self._consts(peer.channel_id).cap06
+        edges = np.fromiter(
+            (cast(SoALink, link).e for link in partners.values()),
+            dtype=np.int64,
+            count=len(partners),
+        )
+        cap = st.e_cap[edges]
+        est = st.e_est[edges]
+        # Same expressions as the object backend, applied element-wise.
+        target = np.minimum(cap06, 0.7 * cap)
+        mask = est < target
+        if mask.any():
+            idx = edges[mask]
+            st.e_est[idx] = est[mask] + 0.2 * (target[mask] - est[mask])
+
+    def _prune_idle_partners(self, peer: Peer, now: float) -> None:
+        idle_timeout = 1.5 * self.config.report_interval_s
+        estab = self.state.e_estab
+        suppliers = peer.suppliers
+        victims = [
+            pid
+            for pid, link in peer.partners.items()
+            if pid not in suppliers
+            and now - estab[cast(SoALink, link).e] > idle_timeout
+        ]
+        for pid in victims:
+            self.disconnect(peer, pid)
+
+    # -- exchange round ------------------------------------------------------
+
+    def run_round(self, now: float, duration: float) -> RoundStats:
+        if self.numerics == "exact":
+            return self._run_round_exact(now, duration)
+        return self._run_round_fast(now, duration)
+
+    def _run_round_exact(self, now: float, duration: float) -> RoundStats:
+        """Vectorised round, bit-identical to the object backend.
+
+        Scoring/ordering run as one flat array pass; the greedy fill
+        and the per-supplier allocation keep plain-Python float
+        accumulation in exactly the object backend's evaluation order,
+        because vectorised (pairwise) float reductions would diverge in
+        the last bits.  Viewer accounting re-joins the array world.
+        """
+        cfg = self.config
+        stats = RoundStats(time=now)
+        self.clock = now
+        st = self.state
+        peers = self.peers
+        blind = self.partner_policy.blind_requests
+        link_faults = self.faults.has_link_faults
+        min_useful = cfg.min_useful_link_kbps
+
+        # Pass 1a: gather one flat row per live (viewer, supplier) link.
+        viewers: list[SoAPeer] = []
+        v_caps: list[float] = []
+        v_demands: list[float] = []
+        f_viewer: list[int] = []
+        f_edge: list[int] = []
+        f_pid: list[int] = []
+        blind_prio: list[float] = []
+        for peer in self._soa_peers():
+            if peer.is_server:
+                continue
+            consts = self._consts(peer.channel_id)
+            vi = len(viewers)
+            viewers.append(peer)
+            v_caps.append(consts.request_cap)
+            v_demands.append(consts.demand)
+            if not peer.suppliers:
+                continue
+            dead: list[int] = []
+            partners_get = peer.partners.get
+            for pid in peer.suppliers:
+                link = partners_get(pid)
+                if link is None or pid not in peers:
+                    dead.append(pid)
+                    continue
+                if link_faults and self.faults.link_blocked(
+                    peer.isp, peers[pid].isp, now
+                ):
+                    continue  # partitioned away this round; keep the link
+                f_viewer.append(vi)
+                f_edge.append(cast(SoALink, link).e)
+                f_pid.append(pid)
+                if blind:
+                    blind_prio.append(
+                        float(hash((peer.peer_id, pid)) % 1_000_003)
+                    )
+            for pid in dead:
+                peer.suppliers.discard(pid)
+
+        # Pass 1b: order all requests by (viewer, -priority, pid) — the
+        # stable concatenation of the object backend's per-viewer sorts.
+        n = len(f_edge)
+        requests: dict[int, list[tuple[int, int, float]]] = {}
+        if n:
+            edge_arr = np.array(f_edge, dtype=np.int64)
+            if blind:
+                prio = np.array(blind_prio)
+            else:
+                prio = st.e_est[edge_arr] / st.e_penalty[edge_arr]
+            pid_arr = np.array(f_pid, dtype=np.int64)
+            order = np.lexsort(
+                (pid_arr, -prio, np.array(f_viewer, dtype=np.int64))
+            )
+            s_viewer = [f_viewer[i] for i in order.tolist()]
+            s_pid = pid_arr[order].tolist()
+            s_edge = edge_arr[order].tolist()
+            s_est = st.e_est[edge_arr][order].tolist()
+            s_linkcap = st.e_cap[edge_arr][order].tolist()
+            # Pass 1c: greedy demand fill (plain floats, object order).
+            current = -1
+            remaining = 0.0
+            cap = 0.0
+            for k in range(n):
+                vi = s_viewer[k]
+                if vi != current:
+                    current = vi
+                    remaining = v_demands[vi]
+                    cap = v_caps[vi]
+                elif remaining <= 0.0:
+                    continue
+                link_cap = s_linkcap[k]
+                req = min(cap, link_cap, remaining)
+                if req <= 0.0:
+                    continue
+                requests.setdefault(s_pid[k], []).append((vi, s_edge[k], req))
+                est = s_est[k]
+                budget = est if est > min_useful else min_useful
+                remaining -= req if req < budget else budget
+
+        # Pass 2: suppliers allocate capacity, preferring mutual
+        # exchangers.  Accumulation stays in plain Python floats in the
+        # object backend's exact order; edge/slot effects are batched.
+        bonus1 = 1.0 + cfg.reciprocation_bonus
+        received: dict[int, float] = {}
+        degraded = self.faults.has_link_faults and bool(self.faults.degradations)
+        smoothing = cfg.estimate_smoothing
+        segment_seconds = cfg.segment_seconds
+        t_edges: list[int] = []  # requester-side rows that moved data
+        t_rates: list[float] = []
+        t_segs: list[float] = []
+        t_sup_edges: list[int] = []  # supplier-side rows
+        t_sup_segs: list[float] = []
+        sup_slots: list[int] = []
+        sup_sent: list[float] = []
+        for supplier_id, reqs in requests.items():
+            supplier = peers.get(supplier_id)
+            if supplier is None:
+                continue
+            supplier_suppliers = supplier.suppliers
+            weights: list[float] = []
+            for vi, _, req in reqs:
+                weights.append(
+                    req * bonus1
+                    if viewers[vi].peer_id in supplier_suppliers
+                    else req
+                )
+            total_weighted = sum(weights)
+            total_requested = sum(req for _, _, req in reqs)
+            if supplier.is_server:
+                capacity = (
+                    supplier.upload_kbps
+                    * self._content_factor(supplier)
+                    * self.faults.server_capacity(now)
+                )
+            else:
+                capacity = supplier.upload_kbps * self._content_factor(supplier)
+            sent_total = 0.0
+            if total_requested <= capacity:
+                scale = 1.0
+            else:
+                scale = capacity / total_weighted if total_weighted else 0.0
+            supplier_partners_get = supplier.partners.get
+            for (vi, e, req), weight in zip(reqs, weights):
+                achieved = req if total_requested <= capacity else min(
+                    req, weight * scale
+                )
+                requester = viewers[vi]
+                if degraded:
+                    achieved *= self.faults.link_factor(
+                        supplier.isp, requester.isp, now
+                    )
+                if achieved <= 0.0:
+                    continue
+                # _record_transfer, batched: same expressions/grouping.
+                stream_rate = self._consts(requester.channel_id).rate_kbps
+                segment_kbit = stream_rate * segment_seconds
+                segments = achieved * duration / segment_kbit
+                t_edges.append(e)
+                t_rates.append(achieved)
+                t_segs.append(segments)
+                supplier_link = supplier_partners_get(requester.peer_id)
+                if supplier_link is not None:
+                    t_sup_edges.append(cast(SoALink, supplier_link).e)
+                    t_sup_segs.append(segments)
+                stats.transfers += 1
+                sent_total += achieved
+                received[requester.peer_id] = (
+                    received.get(requester.peer_id, 0.0) + achieved
+                )
+            sup_slots.append(cast(SoAPeer, supplier).slot)
+            sup_sent.append(sent_total)
+
+        # Batched edge effects.  Requester-side rows are unique (one
+        # request per supplier link), supplier-side rows are unique per
+        # (supplier, requester) pair, so fancy-index updates are exact.
+        if t_edges:
+            te = np.array(t_edges, dtype=np.int64)
+            rates = np.array(t_rates)
+            segs = np.array(t_segs)
+            st.e_recv[te] += segs
+            st.e_est[te] = (1.0 - smoothing) * st.e_est[te] + smoothing * rates
+            st.e_estab[te] = now
+        if t_sup_edges:
+            tse = np.array(t_sup_edges, dtype=np.int64)
+            st.e_sent[tse] += np.array(t_sup_segs)
+            st.e_estab[tse] = now
+        # Suppliers with no requests this round sent nothing; requested
+        # suppliers then get their exact Python-accumulated totals.
+        st.p_sent[st.live_slots()] = 0.0
+        if sup_slots:
+            st.p_sent[np.array(sup_slots, dtype=np.int64)] = np.array(sup_sent)
+
+        # Pass 3: viewer accounting, vectorised (same element-wise
+        # expressions as the object backend; stats sums stay Python).
+        if viewers:
+            v_slots = np.fromiter(
+                (v.slot for v in viewers), dtype=np.int64, count=len(viewers)
+            )
+            received_get = received.get
+            got_list = [received_get(v.peer_id, 0.0) for v in viewers]
+            got = np.array(got_list)
+            rate = st.p_rate[v_slots]
+            st.p_recv[v_slots] = got
+            ratio = np.zeros(len(viewers))
+            np.divide(got, rate, out=ratio, where=rate != 0.0)  # repro: noqa[REP004] mirrors the object backend's exact `if rate` zero test
+            np.minimum(ratio, 1.0, out=ratio)
+            hs = cfg.health_smoothing
+            health = (1.0 - hs) * st.p_health[v_slots] + hs * ratio
+            st.p_health[v_slots] = health
+            window_s = 120.0 * cfg.segment_seconds
+            buffer_fill = st.p_buffer[v_slots] + (got - rate) * duration / (
+                rate * window_s
+            )
+            st.p_buffer[v_slots] = np.minimum(1.0, np.maximum(0.0, buffer_fill))
+            st.p_playback[v_slots] += int(duration / cfg.segment_seconds)
+            for peer in viewers:
+                self._update_depth(peer)
+            stats.viewers = len(viewers)
+            total = 0.0
+            for g in got_list:
+                total += g
+            stats.total_received_kbps = total
+            satisfied_mask = got >= 0.9 * rate
+            stats.satisfied = int(np.count_nonzero(satisfied_mask))
+            # dict.fromkeys preserves first-seen order, matching the
+            # object backend's per-viewer insertion order exactly.
+            channels = st.p_channel[v_slots]
+            for ch in dict.fromkeys(channels.tolist()):
+                stats.per_channel_viewers[ch] = int(
+                    np.count_nonzero(channels == ch)
+                )
+            sat_channels = channels[satisfied_mask]
+            for ch in dict.fromkeys(sat_channels.tolist()):
+                stats.per_channel_satisfied[ch] = int(
+                    np.count_nonzero(sat_channels == ch)
+                )
+        return stats
+
+    def _fault_table(
+        self, now: float, fn: Callable[[str, str, float], Any], dtype: type
+    ) -> Any:
+        """Dense (from-ISP, to-ISP) table of a per-pair fault predicate."""
+        names = list(self._isp_index)
+        n = len(names)
+        table = np.zeros((n, n), dtype=dtype)
+        for i, a in enumerate(names):
+            for j, b in enumerate(names):
+                table[i, j] = fn(a, b, now)
+        return table
+
+    def _run_round_fast(self, now: float, duration: float) -> RoundStats:
+        """Fully vectorised round (renegotiated float contract).
+
+        Same requests, same transfers, same RNG draw sequence as the
+        exact mode, but float accumulation is pairwise (NumPy) instead
+        of sequential, per-pair fault predicates are evaluated once per
+        ISP pair instead of once per link, and depth propagation reads
+        the pre-round depth column.  DESIGN §12 documents the contract
+        bump; the ``soa`` golden fingerprint pins the result.
+        """
+        cfg = self.config
+        stats = RoundStats(time=now)
+        self.clock = now
+        st = self.state
+        blind = self.partner_policy.blind_requests
+        faults = self.faults
+        link_faults = faults.has_link_faults
+
+        # Pass 1a: flat gather of every (viewer, partner) edge row via
+        # the per-peer parallel lists (C-speed list.extend).
+        viewers: list[SoAPeer] = []
+        counts: list[int] = []
+        flat_e: list[int] = []
+        flat_p: list[int] = []
+        v_caps: list[float] = []
+        v_demands: list[float] = []
+        for peer in self._soa_peers():
+            if peer.is_server:
+                continue
+            consts = self._consts(peer.channel_id)
+            viewers.append(peer)
+            v_caps.append(consts.request_cap)
+            v_demands.append(consts.demand)
+            flat_e.extend(peer.edge_ids)
+            flat_p.extend(peer.pid_ids)
+            counts.append(len(peer.edge_ids))
+        nv = len(viewers)
+        stats.viewers = nv
+        if not nv:
+            return stats
+        v_slots = np.fromiter((v.slot for v in viewers), dtype=np.int64, count=nv)
+
+        edge = np.array(flat_e, dtype=np.int64)
+        pid = np.array(flat_p, dtype=np.int64)
+        vid = np.repeat(np.arange(nv, dtype=np.int64), counts)
+        sup = st.e_sup[edge]
+        pslot = st.e_pslot[edge]
+        # A row's partner is live iff its slot is occupied by the same
+        # tenant the edge was wired to (generation match).
+        live = st.p_alive[pslot] & (st.e_pgen[edge] == st.p_gen[pslot])
+        sup_live = sup & live
+        dead_sup = sup & ~live
+        if dead_sup.any():
+            # Same supplier-set cleanup the object backend performs.
+            for i in np.flatnonzero(dead_sup).tolist():
+                viewers[int(vid[i])].suppliers.discard(int(pid[i]))
+
+        rows = sup_live
+        vi_isp = st.p_isp[v_slots]
+        if link_faults and rows.any():
+            blocked = self._fault_table(now, faults.link_blocked, np.bool_)
+            rows = sup_live & ~blocked[vi_isp[vid], st.p_isp[pslot]]
+
+        # Pass 1b+1c: order requests by (viewer, -priority, pid) and run
+        # the greedy demand fill as a prefix-sum.  The per-row demand
+        # decrement min(capped, budget) can exceed the object backend's
+        # min(request, budget) only on a viewer's final admitted row,
+        # where both leave no demand — so the admitted requests match.
+        received = np.zeros(nv)
+        t_pid: Any = None
+        if rows.any():
+            r_idx = np.flatnonzero(rows)
+            r_edge = edge[r_idx]
+            r_pid = pid[r_idx]
+            r_vid = vid[r_idx]
+            if blind:
+                prio = np.array(
+                    [
+                        float(hash((viewers[v].peer_id, p)) % 1_000_003)
+                        for v, p in zip(r_vid.tolist(), r_pid.tolist())
+                    ]
+                )
+            else:
+                prio = st.e_est[r_edge] / st.e_penalty[r_edge]
+            order = np.lexsort((r_pid, -prio, r_vid))
+            s_edge = r_edge[order]
+            s_pid = r_pid[order]
+            s_vid = r_vid[order]
+            capped = np.minimum(np.array(v_caps)[s_vid], st.e_cap[s_edge])
+            budget = np.maximum(st.e_est[s_edge], cfg.min_useful_link_kbps)
+            dec = np.minimum(capped, budget)
+            cum = np.cumsum(dec)
+            seg_first = np.flatnonzero(np.diff(s_vid, prepend=-1))
+            seg_sizes = np.diff(np.append(seg_first, s_vid.size))
+            prev = cum - dec
+            prefix = prev - np.repeat(prev[seg_first], seg_sizes)
+            remaining = np.array(v_demands)[s_vid] - prefix
+            req = np.minimum(capped, remaining)
+            take = req > 0.0
+
+            if take.any():
+                # Pass 2: segment rows by supplier (stable keeps the
+                # object backend's per-supplier request order) and
+                # allocate capacity, preferring mutual exchangers.
+                t_edge = s_edge[take]
+                t_pid = s_pid[take]
+                t_vid = s_vid[take]
+                t_req = req[take]
+                o2 = np.argsort(t_pid, kind="stable")
+                t_edge = t_edge[o2]
+                t_pid = t_pid[o2]
+                t_vid = t_vid[o2]
+                t_req = t_req[o2]
+                mirror = st.e_mirror[t_edge]
+                mutual = st.e_sup[mirror]
+                weight = np.where(
+                    mutual, t_req * (1.0 + cfg.reciprocation_bonus), t_req
+                )
+                starts = np.flatnonzero(np.diff(t_pid, prepend=-1))
+                seg_counts = np.diff(np.append(starts, t_pid.size))
+                total_w = np.add.reduceat(weight, starts)
+                total_req = np.add.reduceat(t_req, starts)
+                s_slot = st.e_pslot[t_edge[starts]]
+                content = np.where(
+                    st.p_server[s_slot],
+                    faults.server_capacity(now),
+                    0.30 + 0.70 * st.p_health[s_slot],
+                )
+                capacity = st.p_up[s_slot] * content
+                fits = total_req <= capacity
+                scale = np.where(
+                    fits,
+                    1.0,
+                    np.divide(
+                        capacity,
+                        total_w,
+                        out=np.zeros_like(total_w),
+                        where=total_w > 0.0,
+                    ),
+                )
+                fits_row = np.repeat(fits, seg_counts)
+                ach = np.where(
+                    fits_row,
+                    t_req,
+                    np.minimum(t_req, weight * np.repeat(scale, seg_counts)),
+                )
+                if link_faults and faults.degradations:
+                    factor = self._fault_table(now, faults.link_factor, np.float64)
+                    ach = ach * factor[st.p_isp[s_slot].repeat(seg_counts), vi_isp[t_vid]]
+                pos = ach > 0.0
+                stats.transfers = int(np.count_nonzero(pos))
+
+                # Batched transfer effects (requester rows and mirror
+                # rows are each unique per round, so scatters are exact).
+                segments = ach * duration / (
+                    st.p_rate[v_slots][t_vid] * cfg.segment_seconds
+                )
+                pe = t_edge[pos]
+                smoothing = cfg.estimate_smoothing
+                st.e_recv[pe] += segments[pos]
+                st.e_est[pe] = (1.0 - smoothing) * st.e_est[pe] + smoothing * ach[pos]
+                st.e_estab[pe] = now
+                me = mirror[pos]
+                st.e_sent[me] += segments[pos]
+                st.e_estab[me] = now
+                received = np.bincount(t_vid[pos], weights=ach[pos], minlength=nv)
+                sent_per_sup = np.add.reduceat(ach, starts)
+                st.p_sent[st.live_slots()] = 0.0
+                st.p_sent[s_slot] = sent_per_sup
+        if t_pid is None:
+            st.p_sent[st.live_slots()] = 0.0
+
+        # Pass 3: viewer accounting (same element-wise expressions as
+        # the exact mode; sums are pairwise).
+        got = received
+        rate = st.p_rate[v_slots]
+        st.p_recv[v_slots] = got
+        ratio = np.zeros(nv)
+        np.divide(got, rate, out=ratio, where=rate != 0.0)  # repro: noqa[REP004] mirrors the object backend's exact `if rate` zero test
+        np.minimum(ratio, 1.0, out=ratio)
+        hs = cfg.health_smoothing
+        st.p_health[v_slots] = (1.0 - hs) * st.p_health[v_slots] + hs * ratio
+        window_s = 120.0 * cfg.segment_seconds
+        buffer_fill = st.p_buffer[v_slots] + (got - rate) * duration / (
+            rate * window_s
+        )
+        st.p_buffer[v_slots] = np.minimum(1.0, np.maximum(0.0, buffer_fill))
+        st.p_playback[v_slots] += int(duration / cfg.segment_seconds)
+
+        # Depth: segmented minimum over the pre-round depth column.
+        # Membership matches _update_depth (live suppliers, including
+        # fault-blocked ones); reading the pre-round snapshot instead of
+        # sequentially-updated values is part of the contract bump.
+        depth_new = np.full(nv, 64, dtype=np.int64)
+        if sup_live.any():
+            m_idx = np.flatnonzero(sup_live)
+            m_vid = vid[m_idx]
+            m_depth = st.p_depth[pslot[m_idx]]
+            uniq, first = np.unique(m_vid, return_index=True)
+            best = np.minimum.reduceat(m_depth, first) + 1
+            depth_new[uniq] = np.minimum(64, best)
+        st.p_depth[v_slots] = depth_new
+
+        stats.total_received_kbps = float(got.sum())
+        satisfied_mask = got >= 0.9 * rate
+        stats.satisfied = int(np.count_nonzero(satisfied_mask))
+        channels = st.p_channel[v_slots]
+        for ch in dict.fromkeys(channels.tolist()):
+            stats.per_channel_viewers[ch] = int(np.count_nonzero(channels == ch))
+        sat_channels = channels[satisfied_mask]
+        for ch in dict.fromkeys(sat_channels.tolist()):
+            stats.per_channel_satisfied[ch] = int(
+                np.count_nonzero(sat_channels == ch)
+            )
+        return stats
+
+    # -- reports -------------------------------------------------------------
+
+    def emit_reports(
+        self,
+        cutoff: float,
+        interval: float,
+        receive: Callable[[PeerReport], bool],
+    ) -> None:
+        """Emit every due report with batched delta computation.
+
+        Report order (peers in dict order, a peer's due reports in time
+        order) and every emitted value match the object backend; peers
+        more than one interval behind fall back to the sequential path.
+        """
+        st = self.state
+        due: list[SoAPeer] = []
+        for peer in self._soa_peers():
+            if peer.is_server:
+                continue
+            if peer.next_report < cutoff:
+                due.append(peer)
+        if not due:
+            return
+        flat_edges: list[int] = []
+        flat_pids: list[int] = []
+        bounds = [0]
+        for peer in due:
+            partners = peer.partners
+            # Listcomp (not genexpr) — this gather is hot.  Report order
+            # must follow partners' dict order, not the swap-ordered
+            # edge_ids list, so the trace stream matches the object
+            # backend byte for byte.
+            flat_edges += [link.e for link in partners.values()]  # type: ignore[attr-defined]
+            flat_pids += list(partners.keys())
+            bounds.append(len(flat_edges))
+        edges = np.array(flat_edges, dtype=np.int64)
+        sent_now = st.e_sent[edges]
+        recv_now = st.e_recv[edges]
+        # int() truncates toward zero; so does astype for these
+        # non-negative deltas.
+        sent_delta = (sent_now - st.e_rep_sent[edges]).astype(np.int64).tolist()
+        recv_delta = (recv_now - st.e_rep_recv[edges]).astype(np.int64).tolist()
+        ips = st.e_ip[edges].tolist()
+        ports = (20_000 + (np.array(flat_pids, dtype=np.int64) % 40_000)).tolist()
+        st.e_rep_sent[edges] = sent_now
+        st.e_rep_recv[edges] = recv_now
+        for i, peer in enumerate(due):
+            lo, hi = bounds[i], bounds[i + 1]
+            partner_records = tuple(
+                [
+                    PartnerRecord(
+                        ip=ips[k],
+                        port=ports[k],
+                        sent_segments=sent_delta[k],
+                        recv_segments=recv_delta[k],
+                    )
+                    for k in range(lo, hi)
+                ]
+            )
+            when = peer.next_report
+            receive(
+                PeerReport(
+                    time=when,
+                    peer_ip=peer.ip,
+                    channel_id=peer.channel_id,
+                    buffer_fill=peer.buffer_fill,
+                    playback_position=peer.playback_position,
+                    download_capacity_kbps=peer.download_kbps,
+                    upload_capacity_kbps=peer.upload_kbps,
+                    recv_rate_kbps=peer.recv_rate_kbps,
+                    sent_rate_kbps=peer.sent_rate_kbps,
+                    partners=partner_records,
+                )
+            )
+            peer.next_report = when + interval
+            while peer.next_report < cutoff:
+                # Catch-up reports (rare): deltas were just rolled, so
+                # the sequential path emits the same zero-delta records
+                # the object backend would.
+                receive(build_report(peer, peer.next_report))
+                peer.next_report += interval

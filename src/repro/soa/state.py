@@ -1,0 +1,597 @@
+"""Flat array state and view objects for the SoA exchange backend.
+
+Layout (one row per *directed* link endpoint, mirroring the object
+backend's two ``Link`` instances per partnership; one row per peer):
+
+========== ======= ====================================================
+column     dtype   object-backend equivalent
+========== ======= ====================================================
+e_rtt      f64     ``Link.rtt_ms``
+e_cap      f64     ``Link.cap_kbps``
+e_est      f64     ``Link.est_kbps``
+e_penalty  f64     ``Link.penalty``
+e_sent     f64     ``Link.sent_segments``
+e_recv     f64     ``Link.recv_segments``
+e_rep_sent f64     ``Link.reported_sent``
+e_rep_recv f64     ``Link.reported_recv``
+e_estab    f64     ``Link.established_at``
+e_ip       i64     ``Link.partner_ip``
+e_mirror   i64     row of the partner's opposite-direction endpoint
+e_pslot    i64     peer-row slot of the partner at link time
+e_pgen     i64     ``p_gen`` of the partner at link time (staleness)
+e_sup      bool    partner is in the owner's supplier set
+p_health   f64     ``Peer.health``
+p_buffer   f64     ``Peer.buffer_fill``
+p_recv     f64     ``Peer.recv_rate_kbps``
+p_sent     f64     ``Peer.sent_rate_kbps``
+p_rate     f64     stream rate of the peer's channel (consts cache)
+p_up       f64     ``Peer.upload_kbps`` (fixed per peer)
+p_playback i64     ``Peer.playback_position``
+p_channel  i64     ``Peer.channel_id``
+p_depth    i64     ``Peer.depth``
+p_isp      i64     engine-assigned ISP index (fault tables)
+p_gen      i64     allocation generation (stale-row detection)
+p_alive    bool    row in use
+p_server   bool    ``Peer.is_server``
+========== ======= ====================================================
+
+The ``e_mirror``/``e_pslot``/``e_pgen``/``e_sup`` columns exist for the
+fast (vectorised-numerics) data plane: a request row can find its
+supplier-side counterpart, the supplier's peer row, and the mutuality
+flag without touching a Python dict.  A partner slot is valid for a row
+exactly when ``p_alive[e_pslot] and p_gen[e_pslot] == e_pgen`` — slot
+reuse after a departure bumps ``p_gen``, so stale rows can never alias
+a new tenant.
+
+Rows are recycled through free lists; row *order* is never semantically
+meaningful (every reduction the engine performs gathers rows through
+the per-peer partner dicts, whose insertion order matches the object
+backend), which is what makes a checkpoint-restored state — whose rows
+are re-packed densely — continue draw-for-draw identically.
+
+``SoAPeer``/``SoALink`` subclass the object backend's ``Peer``/``Link``
+and shadow the hot fields with array-backed properties, so overlay
+policies, the tracker control plane and ``build_report`` operate on
+them unchanged.  Both reduce to plain ``Peer``/``Link`` instances under
+pickle, keeping checkpoint payloads engine-portable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.simulator.peer import Link, Peer
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+
+
+def _link_from_columns(
+    values: tuple[float, float, float, float, float, float, float, float, float, int],
+) -> Link:
+    """Rebuild a plain :class:`Link` from pickled SoA column values."""
+    link = Link.__new__(Link)
+    (
+        link.rtt_ms,
+        link.cap_kbps,
+        link.est_kbps,
+        link.penalty,
+        link.sent_segments,
+        link.recv_segments,
+        link.reported_sent,
+        link.reported_recv,
+        link.established_at,
+        link.partner_ip,
+    ) = values
+    return link
+
+
+def _peer_from_fields(fields: dict[str, object]) -> Peer:
+    """Rebuild a plain :class:`Peer` from pickled SoA field values."""
+    peer = Peer.__new__(Peer)
+    for name, value in fields.items():
+        setattr(peer, name, value)
+    return peer
+
+
+class SoAState:
+    """Array pools for peers and directed link endpoints."""
+
+    def __init__(self, *, peer_capacity: int = 256, edge_capacity: int = 2048) -> None:
+        self.e_rtt: FloatArray = np.zeros(edge_capacity)
+        self.e_cap: FloatArray = np.zeros(edge_capacity)
+        self.e_est: FloatArray = np.zeros(edge_capacity)
+        self.e_penalty: FloatArray = np.zeros(edge_capacity)
+        self.e_sent: FloatArray = np.zeros(edge_capacity)
+        self.e_recv: FloatArray = np.zeros(edge_capacity)
+        self.e_rep_sent: FloatArray = np.zeros(edge_capacity)
+        self.e_rep_recv: FloatArray = np.zeros(edge_capacity)
+        self.e_estab: FloatArray = np.zeros(edge_capacity)
+        self.e_ip: IntArray = np.zeros(edge_capacity, dtype=np.int64)
+        self.e_mirror: IntArray = np.zeros(edge_capacity, dtype=np.int64)
+        self.e_pslot: IntArray = np.zeros(edge_capacity, dtype=np.int64)
+        self.e_pgen: IntArray = np.zeros(edge_capacity, dtype=np.int64)
+        self.e_sup: BoolArray = np.zeros(edge_capacity, dtype=np.bool_)
+        self.p_health: FloatArray = np.zeros(peer_capacity)
+        self.p_buffer: FloatArray = np.zeros(peer_capacity)
+        self.p_recv: FloatArray = np.zeros(peer_capacity)
+        self.p_sent: FloatArray = np.zeros(peer_capacity)
+        self.p_rate: FloatArray = np.zeros(peer_capacity)
+        self.p_up: FloatArray = np.zeros(peer_capacity)
+        self.p_playback: IntArray = np.zeros(peer_capacity, dtype=np.int64)
+        self.p_channel: IntArray = np.zeros(peer_capacity, dtype=np.int64)
+        self.p_depth: IntArray = np.zeros(peer_capacity, dtype=np.int64)
+        self.p_isp: IntArray = np.zeros(peer_capacity, dtype=np.int64)
+        self.p_gen: IntArray = np.zeros(peer_capacity, dtype=np.int64)
+        self.p_alive: BoolArray = np.zeros(peer_capacity, dtype=np.bool_)
+        self.p_server: BoolArray = np.zeros(peer_capacity, dtype=np.bool_)
+        self._free_edges: list[int] = []
+        self._next_edge = 0
+        self._free_slots: list[int] = []
+        self._next_slot = 0
+
+    # -- allocation --------------------------------------------------------
+
+    def _grow_edges(self) -> None:
+        for name in (
+            "e_rtt",
+            "e_cap",
+            "e_est",
+            "e_penalty",
+            "e_sent",
+            "e_recv",
+            "e_rep_sent",
+            "e_rep_recv",
+            "e_estab",
+            "e_ip",
+            "e_mirror",
+            "e_pslot",
+            "e_pgen",
+            "e_sup",
+        ):
+            col = getattr(self, name)
+            setattr(self, name, np.concatenate([col, np.zeros_like(col)]))
+
+    def _grow_peers(self) -> None:
+        for name in (
+            "p_health",
+            "p_buffer",
+            "p_recv",
+            "p_sent",
+            "p_rate",
+            "p_up",
+            "p_playback",
+            "p_channel",
+            "p_depth",
+            "p_isp",
+            "p_gen",
+            "p_alive",
+            "p_server",
+        ):
+            col = getattr(self, name)
+            setattr(self, name, np.concatenate([col, np.zeros_like(col)]))
+
+    def alloc_edge(
+        self,
+        *,
+        rtt_ms: float,
+        cap_kbps: float,
+        est_kbps: float,
+        established_at: float,
+        partner_ip: int,
+        penalty: float | None = None,
+        sent: float = 0.0,
+        recv: float = 0.0,
+        rep_sent: float = 0.0,
+        rep_recv: float = 0.0,
+    ) -> int:
+        """Claim one edge row and initialise every column."""
+        if self._free_edges:
+            e = self._free_edges.pop()
+        else:
+            e = self._next_edge
+            if e >= self.e_rtt.shape[0]:
+                self._grow_edges()
+            self._next_edge += 1
+        self.e_rtt[e] = rtt_ms
+        self.e_cap[e] = cap_kbps
+        self.e_est[e] = est_kbps
+        # Same expression (and grouping) as Link.__init__.
+        self.e_penalty[e] = (
+            penalty if penalty is not None else 1.0 + (rtt_ms / 60.0) ** 2
+        )
+        self.e_sent[e] = sent
+        self.e_recv[e] = recv
+        self.e_rep_sent[e] = rep_sent
+        self.e_rep_recv[e] = rep_recv
+        self.e_estab[e] = established_at
+        self.e_ip[e] = partner_ip
+        # Topology columns are reuse-hazardous: reset on every claim and
+        # let the engine fill them in once both endpoints exist.
+        self.e_mirror[e] = -1
+        self.e_pslot[e] = -1
+        self.e_pgen[e] = -1
+        self.e_sup[e] = False
+        return e
+
+    def free_edge(self, e: int) -> None:
+        self.e_sup[e] = False
+        self._free_edges.append(e)
+
+    def alloc_peer(self) -> int:
+        """Claim one peer row (columns initialised by the adopter)."""
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = self._next_slot
+            if slot >= self.p_health.shape[0]:
+                self._grow_peers()
+            self._next_slot += 1
+        # Bump the generation so edge rows captured against the slot's
+        # previous tenant (e_pgen) can never alias the new one.
+        self.p_gen[slot] += 1
+        return slot
+
+    def free_peer(self, slot: int) -> None:
+        self.p_alive[slot] = False
+        self._free_slots.append(slot)
+
+    def live_slots(self) -> IntArray:
+        """Indices of rows currently in use."""
+        bound = self.p_alive[: self._next_slot]
+        return np.nonzero(bound)[0].astype(np.int64)
+
+
+class SoALink(Link):
+    """Array-backed view of one directed link endpoint.
+
+    Subclasses :class:`Link` so policy protocols, ``build_report`` and
+    isinstance checks hold; every ``Link`` field is shadowed by a
+    property over the edge row ``e`` in ``st``.
+    """
+
+    __slots__ = ("st", "e")
+
+    def __init__(self, st: SoAState, e: int) -> None:
+        self.st = st
+        self.e = e
+
+    def __reduce__(
+        self,
+    ) -> tuple[
+        Callable[
+            [tuple[float, float, float, float, float, float, float, float, float, int]],
+            Link,
+        ],
+        tuple[tuple[float, float, float, float, float, float, float, float, float, int]],
+    ]:
+        st, e = self.st, self.e
+        return (
+            _link_from_columns,
+            (
+                (
+                    float(st.e_rtt[e]),
+                    float(st.e_cap[e]),
+                    float(st.e_est[e]),
+                    float(st.e_penalty[e]),
+                    float(st.e_sent[e]),
+                    float(st.e_recv[e]),
+                    float(st.e_rep_sent[e]),
+                    float(st.e_rep_recv[e]),
+                    float(st.e_estab[e]),
+                    int(st.e_ip[e]),
+                ),
+            ),
+        )
+
+    @property  # type: ignore[override]
+    def rtt_ms(self) -> float:
+        return float(self.st.e_rtt[self.e])
+
+    @rtt_ms.setter
+    def rtt_ms(self, value: float) -> None:
+        self.st.e_rtt[self.e] = value
+
+    @property  # type: ignore[override]
+    def cap_kbps(self) -> float:
+        return float(self.st.e_cap[self.e])
+
+    @cap_kbps.setter
+    def cap_kbps(self, value: float) -> None:
+        self.st.e_cap[self.e] = value
+
+    @property  # type: ignore[override]
+    def est_kbps(self) -> float:
+        return float(self.st.e_est[self.e])
+
+    @est_kbps.setter
+    def est_kbps(self, value: float) -> None:
+        self.st.e_est[self.e] = value
+
+    @property  # type: ignore[override]
+    def penalty(self) -> float:
+        return float(self.st.e_penalty[self.e])
+
+    @penalty.setter
+    def penalty(self, value: float) -> None:
+        self.st.e_penalty[self.e] = value
+
+    @property  # type: ignore[override]
+    def sent_segments(self) -> float:
+        return float(self.st.e_sent[self.e])
+
+    @sent_segments.setter
+    def sent_segments(self, value: float) -> None:
+        self.st.e_sent[self.e] = value
+
+    @property  # type: ignore[override]
+    def recv_segments(self) -> float:
+        return float(self.st.e_recv[self.e])
+
+    @recv_segments.setter
+    def recv_segments(self, value: float) -> None:
+        self.st.e_recv[self.e] = value
+
+    @property  # type: ignore[override]
+    def reported_sent(self) -> float:
+        return float(self.st.e_rep_sent[self.e])
+
+    @reported_sent.setter
+    def reported_sent(self, value: float) -> None:
+        self.st.e_rep_sent[self.e] = value
+
+    @property  # type: ignore[override]
+    def reported_recv(self) -> float:
+        return float(self.st.e_rep_recv[self.e])
+
+    @reported_recv.setter
+    def reported_recv(self, value: float) -> None:
+        self.st.e_rep_recv[self.e] = value
+
+    @property  # type: ignore[override]
+    def established_at(self) -> float:
+        return float(self.st.e_estab[self.e])
+
+    @established_at.setter
+    def established_at(self, value: float) -> None:
+        self.st.e_estab[self.e] = value
+
+    @property  # type: ignore[override]
+    def partner_ip(self) -> int:
+        return int(self.st.e_ip[self.e])
+
+    @partner_ip.setter
+    def partner_ip(self, value: int) -> None:
+        self.st.e_ip[self.e] = value
+
+    def observe_throughput(self, achieved_kbps: float, smoothing: float) -> None:
+        st, e = self.st, self.e
+        # Same expression (and grouping) as Link.observe_throughput.
+        st.e_est[e] = (1.0 - smoothing) * float(st.e_est[e]) + smoothing * achieved_kbps
+
+    def unreported_deltas(self) -> tuple[float, float]:
+        st, e = self.st, self.e
+        return (
+            float(st.e_sent[e]) - float(st.e_rep_sent[e]),
+            float(st.e_recv[e]) - float(st.e_rep_recv[e]),
+        )
+
+    def mark_reported(self) -> None:
+        st, e = self.st, self.e
+        st.e_rep_sent[e] = st.e_sent[e]
+        st.e_rep_recv[e] = st.e_recv[e]
+
+
+class SupplierSet(set[int]):
+    """A peer's supplier set that mirrors membership into ``e_sup``.
+
+    Overlay policies treat ``peer.suppliers`` as a plain ``set`` (rebind,
+    ``add``, ``discard``); this subclass intercepts the mutators so the
+    ``e_sup`` flag on the owner's edge row tracks membership exactly,
+    letting the fast data plane read supplier membership and mutuality
+    (``e_sup[e_mirror[e]]``) straight from the arrays.  Membership flags
+    for partners that have already been dropped from ``partners`` are a
+    no-op here — ``free_edge`` clears the flag on the way out.  Pickles
+    as a plain ``set``.
+    """
+
+    __slots__ = ("peer",)
+
+    def __init__(self, peer: SoAPeer, members: Iterable[int] = ()) -> None:
+        super().__init__(members)
+        self.peer = peer
+        for pid in self:
+            self._flag(pid, True)
+
+    def __reduce__(self) -> tuple[type[set[int]], tuple[list[int]]]:
+        return (set, (list(self),))
+
+    def _flag(self, pid: int, value: bool) -> None:
+        link = self.peer.partners.get(pid)
+        if link is not None:
+            self.peer.st.e_sup[link.e] = value  # type: ignore[attr-defined]
+
+    def add(self, pid: int) -> None:
+        super().add(pid)
+        self._flag(pid, True)
+
+    def discard(self, pid: int) -> None:
+        super().discard(pid)
+        self._flag(pid, False)
+
+    def remove(self, pid: int) -> None:
+        super().remove(pid)
+        self._flag(pid, False)
+
+    def update(self, *others: Iterable[int]) -> None:
+        for other in others:
+            for pid in other:
+                self.add(pid)
+
+    def difference_update(self, *others: Iterable[int]) -> None:
+        for other in others:
+            for pid in list(other):
+                self.discard(pid)
+
+    def clear(self) -> None:
+        for pid in list(self):
+            self._flag(pid, False)
+        super().clear()
+
+
+#: Peer fields that stay plain Python attributes on the view (cold in
+#: the data plane, or read by sequential control-plane code that would
+#: pay property overhead for no vectorisation win).
+_PLAIN_PEER_FIELDS = (
+    "peer_id",
+    "ip",
+    "isp",
+    "is_china",
+    "is_server",
+    "channel_id",
+    "upload_kbps",
+    "download_kbps",
+    "class_name",
+    "join_time",
+    "depart_time",
+    "last_tick",
+    "next_report",
+    "volunteered",
+    "starving_ticks",
+    "registered",
+    "tracker_failures",
+    "next_tracker_retry",
+)
+
+
+class SoAPeer(Peer):
+    """Array-backed view of one peer row.
+
+    Hot per-round fields (health, buffer, rates, playback, depth) live
+    in the slot arrays; everything else stays a plain attribute.
+    ``partners`` maps pid -> :class:`SoALink` in the same insertion
+    order the object backend maintains, ``suppliers`` is a
+    :class:`SupplierSet` (set-compatible, mirrors into ``e_sup``), and
+    ``edge_ids``/``pid_ids`` are parallel lists over ``partners`` that
+    let the fast data plane gather a peer's edge rows with one
+    ``list.extend`` instead of a per-link Python loop.
+    """
+
+    __slots__ = ("st", "slot", "edge_ids", "pid_ids", "_suppliers")
+
+    st: SoAState
+    slot: int
+    edge_ids: list[int]
+    pid_ids: list[int]
+    _suppliers: SupplierSet
+
+    def __init__(self) -> None:  # pragma: no cover - views are built via adopt
+        raise TypeError("SoAPeer views are created by SoAExchangeEngine.adopt_peer")
+
+    def __reduce__(
+        self,
+    ) -> tuple[Callable[[dict[str, object]], Peer], tuple[dict[str, object]]]:
+        fields: dict[str, object] = {
+            name: getattr(self, name) for name in _PLAIN_PEER_FIELDS
+        }
+        fields["partners"] = dict(self.partners)
+        fields["suppliers"] = set(self.suppliers)
+        fields["health"] = self.health
+        fields["buffer_fill"] = self.buffer_fill
+        fields["recv_rate_kbps"] = self.recv_rate_kbps
+        fields["sent_rate_kbps"] = self.sent_rate_kbps
+        fields["playback_position"] = self.playback_position
+        fields["depth"] = self.depth
+        return (_peer_from_fields, (fields,))
+
+    @property  # type: ignore[override]
+    def suppliers(self) -> set[int]:
+        return self._suppliers
+
+    @suppliers.setter
+    def suppliers(self, value: set[int]) -> None:
+        # Policies rebind `peer.suppliers = chosen` with a plain set; wrap
+        # it so mutators keep e_sup in sync.  Clearing every edge flag
+        # first (rather than just the old members') also repairs any flag
+        # the old set no longer covers, and is safe under self-assignment.
+        st = self.st
+        for link in self.partners.values():
+            st.e_sup[link.e] = False  # type: ignore[attr-defined]
+        self._suppliers = SupplierSet(self, value)
+
+    @property  # type: ignore[override]
+    def health(self) -> float:
+        return float(self.st.p_health[self.slot])
+
+    @health.setter
+    def health(self, value: float) -> None:
+        self.st.p_health[self.slot] = value
+
+    @property  # type: ignore[override]
+    def buffer_fill(self) -> float:
+        return float(self.st.p_buffer[self.slot])
+
+    @buffer_fill.setter
+    def buffer_fill(self, value: float) -> None:
+        self.st.p_buffer[self.slot] = value
+
+    @property  # type: ignore[override]
+    def recv_rate_kbps(self) -> float:
+        return float(self.st.p_recv[self.slot])
+
+    @recv_rate_kbps.setter
+    def recv_rate_kbps(self, value: float) -> None:
+        self.st.p_recv[self.slot] = value
+
+    @property  # type: ignore[override]
+    def sent_rate_kbps(self) -> float:
+        return float(self.st.p_sent[self.slot])
+
+    @sent_rate_kbps.setter
+    def sent_rate_kbps(self, value: float) -> None:
+        self.st.p_sent[self.slot] = value
+
+    @property  # type: ignore[override]
+    def playback_position(self) -> int:
+        return int(self.st.p_playback[self.slot])
+
+    @playback_position.setter
+    def playback_position(self, value: int) -> None:
+        self.st.p_playback[self.slot] = value
+
+    @property  # type: ignore[override]
+    def depth(self) -> int:
+        return int(self.st.p_depth[self.slot])
+
+    @depth.setter
+    def depth(self, value: int) -> None:
+        self.st.p_depth[self.slot] = value
+
+    def add_partner(self, partner_id: int, link: Link) -> bool:
+        """Record a partnership, keeping the flat gather lists in sync."""
+        added = super().add_partner(partner_id, link)
+        if added:
+            self.edge_ids.append(link.e)  # type: ignore[attr-defined]
+            self.pid_ids.append(partner_id)
+        return added
+
+    def remove_partner(self, partner_id: int) -> None:
+        """Forget a partner, returning its edge row to the pool."""
+        link = self.partners.pop(partner_id, None)
+        self.suppliers.discard(partner_id)
+        if link is not None:
+            e: int = link.e  # type: ignore[attr-defined]
+            # Swap-remove from the parallel gather lists (row order is
+            # never semantically meaningful).
+            i = self.edge_ids.index(e)
+            last = len(self.edge_ids) - 1
+            self.edge_ids[i] = self.edge_ids[last]
+            self.pid_ids[i] = self.pid_ids[last]
+            del self.edge_ids[last]
+            del self.pid_ids[last]
+            self.st.free_edge(e)

@@ -1,0 +1,85 @@
+"""Crash/resume under ``engine="soa"``: interrupted campaigns converge.
+
+The SoA backend serialises no state of its own — checkpoints capture the
+canonical object-model state and both backends rebuild their working
+representation from it — so a killed-and-resumed SoA campaign must be
+draw-for-draw and byte-for-byte identical to an uninterrupted twin.
+The checkpoint does, however, pin the engine name in its config token:
+restoring a SoA checkpoint into an object-backend system (or vice
+versa) is refused, because the fast numerics renegotiate the float
+contract and silent cross-engine resumes could diverge mid-campaign.
+"""
+
+import pytest
+
+from repro.core.experiments import run_campaign
+from repro.simulator import CheckpointError
+
+SEED = 2006
+BASE = 60.0
+ROUND = 600.0
+TOTAL_ROUNDS = 12
+DAYS = TOTAL_ROUNDS * ROUND / 86_400.0
+
+
+def campaign(trace_dir, **kwargs):
+    kwargs.setdefault("engine", "soa")
+    return run_campaign(
+        trace_dir,
+        days=DAYS,
+        base_concurrency=BASE,
+        seed=SEED,
+        with_flash_crowd=False,
+        checkpoint_every_rounds=3,
+        records_per_segment=40,
+        compute_content_sha=True,
+        **kwargs,
+    )
+
+
+def kill_after(rounds: int):
+    """(stop, on_round) pair that interrupts once ``rounds`` complete."""
+    seen = [0]
+
+    def on_round(completed: int) -> None:
+        seen[0] = completed
+
+    def stop() -> bool:
+        return seen[0] >= rounds
+
+    return stop, on_round
+
+
+class TestSoAKillResume:
+    def test_resume_matches_uninterrupted_twin(self, tmp_path):
+        twin = campaign(tmp_path / "twin")
+        assert twin.rounds_completed == TOTAL_ROUNDS
+
+        # Kill between checkpoint boundaries: stop after round 7 with
+        # checkpoints every 3, so the resume restarts from round 6 and
+        # must replay rounds 7 onwards draw-identically.
+        stop, on_round = kill_after(7)
+        killed = campaign(tmp_path / "b", stop=stop, on_round=on_round)
+        resumed = campaign(tmp_path / "b", resume=True)
+
+        assert killed.interrupted
+        assert killed.rounds_completed < TOTAL_ROUNDS
+        assert not resumed.interrupted
+        assert resumed.rounds_completed == TOTAL_ROUNDS
+        assert resumed.content_sha256 == twin.content_sha256
+        assert resumed.rng_fingerprint == twin.rng_fingerprint
+
+    def test_resume_refuses_engine_mismatch(self, tmp_path):
+        stop, on_round = kill_after(5)
+        campaign(tmp_path / "camp", stop=stop, on_round=on_round)
+        with pytest.raises(CheckpointError):
+            campaign(tmp_path / "camp", resume=True, engine="object")
+
+    def test_exact_mode_resumes_from_its_own_checkpoints(self, tmp_path):
+        twin = campaign(tmp_path / "twin", engine="soa-exact")
+        stop, on_round = kill_after(7)
+        campaign(tmp_path / "b", engine="soa-exact", stop=stop,
+                 on_round=on_round)
+        resumed = campaign(tmp_path / "b", engine="soa-exact", resume=True)
+        assert resumed.content_sha256 == twin.content_sha256
+        assert resumed.rng_fingerprint == twin.rng_fingerprint

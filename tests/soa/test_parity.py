@@ -1,0 +1,135 @@
+"""Twin-run parity harness: object vs SoA backends on seeded scenarios.
+
+Every scenario is run once per backend from the same seed and compared:
+
+- ``soa-exact`` must be **bit-identical** to the object backend — same
+  draw fingerprint, same ``RoundStats``, same trace bytes, same final
+  peer/link state — across every registered partner policy and a spread
+  of seeds, concurrencies and flash-crowd settings.  This is the RNG
+  contract the exact mode promises, so equality here is exact, not
+  approximate.
+- ``soa`` (fast numerics) renegotiates float arithmetic only: its
+  integer outcomes (transfers, satisfied viewers, viewer counts,
+  arrivals/departures) must still match the object backend exactly, its
+  float aggregates must agree to numerical noise, and it must be fully
+  deterministic run-to-run.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.overlay import available_policies
+from repro.simulator import SystemConfig, UUSeeSystem
+from repro.simulator.checkpoint import draw_fingerprint
+from repro.traces import InMemoryTraceStore
+from repro.workloads.flashcrowd import FlashCrowdEvent
+
+ROUND_SECONDS = 600.0
+
+
+def build(engine, *, seed, base, overlay="", flash=False):
+    config = SystemConfig(
+        seed=seed,
+        base_concurrency=base,
+        flash_crowd=FlashCrowdEvent(start=1_200.0) if flash else None,
+        overlay=overlay,
+        engine=engine,
+    )
+    store = InMemoryTraceStore()
+    return UUSeeSystem(config, store), store
+
+
+def trace_sha(store: InMemoryTraceStore) -> str:
+    h = hashlib.sha256()
+    for r in store.reports:
+        h.update(r.to_json().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def run_pair(engine, *, seed, base, overlay="", flash=False, rounds=8):
+    obj, obj_store = build("object", seed=seed, base=base, overlay=overlay, flash=flash)
+    soa, soa_store = build(engine, seed=seed, base=base, overlay=overlay, flash=flash)
+    for _ in range(rounds):
+        obj.run(seconds=ROUND_SECONDS)
+        soa.run(seconds=ROUND_SECONDS)
+    return obj, obj_store, soa, soa_store
+
+
+def assert_state_parity(obj, soa):
+    assert set(obj.peers) == set(soa.peers)
+    for pid, po in obj.peers.items():
+        ps = soa.peers[pid]
+        for name in (
+            "health", "buffer_fill", "recv_rate_kbps", "sent_rate_kbps",
+            "playback_position", "depth", "next_report", "suppliers",
+        ):
+            assert getattr(po, name) == getattr(ps, name), f"peer {pid}.{name}"
+        assert set(po.partners) == set(ps.partners), f"peer {pid} partners"
+        for qid, lo in po.partners.items():
+            ls = ps.partners[qid]
+            for name in (
+                "rtt_ms", "cap_kbps", "est_kbps", "penalty",
+                "sent_segments", "recv_segments", "reported_sent",
+                "reported_recv", "established_at", "partner_ip",
+            ):
+                assert getattr(lo, name) == getattr(ls, name), (
+                    f"peer {pid} link {qid}.{name}"
+                )
+
+
+class TestExactParity:
+    """soa-exact ↔ object: bit identity under the shared RNG contract."""
+
+    @pytest.mark.parametrize("overlay", sorted(available_policies()))
+    def test_every_policy_is_bit_identical(self, overlay):
+        obj, obj_store, soa, soa_store = run_pair(
+            "soa-exact", seed=91, base=60.0, overlay=overlay, rounds=6
+        )
+        assert draw_fingerprint(obj) == draw_fingerprint(soa)
+        assert obj.round_stats == soa.round_stats
+        assert trace_sha(obj_store) == trace_sha(soa_store)
+        assert_state_parity(obj, soa)
+
+    @pytest.mark.parametrize(
+        "seed,base,flash",
+        [(7, 40.0, False), (23, 90.0, True), (1999, 150.0, False)],
+    )
+    def test_seeded_scenarios_are_bit_identical(self, seed, base, flash):
+        obj, obj_store, soa, soa_store = run_pair(
+            "soa-exact", seed=seed, base=base, flash=flash, rounds=8
+        )
+        assert draw_fingerprint(obj) == draw_fingerprint(soa)
+        assert obj.round_stats == soa.round_stats
+        assert trace_sha(obj_store) == trace_sha(soa_store)
+        assert_state_parity(obj, soa)
+
+
+class TestFastParity:
+    """soa ↔ object: integer outcomes exact, float aggregates close."""
+
+    @pytest.mark.parametrize("seed,base", [(7, 40.0), (91, 120.0)])
+    def test_integer_outcomes_match(self, seed, base):
+        obj, _, soa, _ = run_pair("soa", seed=seed, base=base, rounds=8)
+        for so, ss in zip(obj.round_stats, soa.round_stats):
+            assert so.transfers == ss.transfers
+            assert so.satisfied == ss.satisfied
+            assert so.viewers == ss.viewers
+            assert so.per_channel_viewers == ss.per_channel_viewers
+            rel = abs(so.total_received_kbps - ss.total_received_kbps) / max(
+                1.0, so.total_received_kbps
+            )
+            assert rel < 1e-9
+
+    def test_fast_mode_is_deterministic(self):
+        shas = set()
+        fps = set()
+        for _ in range(2):
+            soa, store = build("soa", seed=91, base=90.0)
+            for _ in range(8):
+                soa.run(seconds=ROUND_SECONDS)
+            shas.add(trace_sha(store))
+            fps.add(draw_fingerprint(soa))
+        assert len(shas) == 1
+        assert len(fps) == 1

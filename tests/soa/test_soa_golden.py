@@ -1,0 +1,103 @@
+"""Golden fingerprints for the struct-of-arrays exchange backends.
+
+Two pins, two contracts:
+
+- ``engine="soa-exact"`` promises **bit parity** with the object
+  backend: same draw sequence, same fingerprint, and byte-identical
+  trace.  Its pins are therefore the *object* backend's golden
+  constants from ``tests/simulator/test_exchange_golden.py`` — shared
+  deliberately, so either backend drifting breaks a test.
+- ``engine="soa"`` renegotiates float arithmetic (vectorised pairwise
+  reductions, batched allocation, pre-round depth) and pins its **own**
+  golden trace SHA.  On this scenario its draw sequence happens to
+  coincide with the object backend's (allocation outcomes agree
+  integer-for-integer), which the shared fingerprint pin documents;
+  report float fields differ, hence the distinct trace SHA.
+
+If ``GOLDEN_SOA_TRACE_SHA`` ever changes, that is an RNG/float contract
+bump for the SoA backend: document it in DESIGN §12 and recapture.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.qa.sanitizer import assert_identical_draws, audited
+from repro.simulator import SystemConfig, UUSeeSystem
+from repro.traces import InMemoryTraceStore
+
+from tests.simulator.test_exchange_golden import (
+    GOLDEN_BIT_DRAWS,
+    GOLDEN_FINGERPRINT,
+    GOLDEN_FLOAT_DRAWS,
+    GOLDEN_REPORTS,
+    GOLDEN_TRACE_SHA,
+)
+
+#: The SoA fast backend's own golden trace on the shared scenario
+#: (seed=31, base 120, no flash crowd, 3 simulated hours).
+GOLDEN_SOA_TRACE_SHA = (
+    "62530fa8bffc3c30f08009a87244456df8b79d106a5b48c7ae6d27373e229046"
+)
+
+
+def scenario(engine: str):
+    def run() -> InMemoryTraceStore:
+        config = SystemConfig(
+            seed=31, base_concurrency=120.0, flash_crowd=None, engine=engine
+        )
+        store = InMemoryTraceStore()
+        system = UUSeeSystem(config, store)
+        system.run(seconds=3 * 3600)
+        return store
+
+    return run
+
+
+def trace_sha(store: InMemoryTraceStore) -> str:
+    h = hashlib.sha256()
+    for r in store.reports:
+        h.update(r.to_json().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class TestSoAExactGolden:
+    """soa-exact shares the object backend's pins — no contract bump."""
+
+    def test_draw_sequence_matches_object_golden(self):
+        _, snap = audited(scenario("soa-exact"))
+        assert snap.float_draws == GOLDEN_FLOAT_DRAWS
+        assert snap.bit_draws == GOLDEN_BIT_DRAWS
+        assert snap.fingerprint == GOLDEN_FINGERPRINT
+
+    def test_trace_bytes_match_object_golden(self):
+        store, _ = audited(scenario("soa-exact"))
+        assert len(store.reports) == GOLDEN_REPORTS
+        assert trace_sha(store) == GOLDEN_TRACE_SHA
+
+
+class TestSoAFastGolden:
+    """The vectorised backend pins its own renegotiated contract."""
+
+    def test_draw_sequence(self):
+        _, snap = audited(scenario("soa"))
+        assert snap.float_draws == GOLDEN_FLOAT_DRAWS
+        assert snap.bit_draws == GOLDEN_BIT_DRAWS
+        assert snap.fingerprint == GOLDEN_FINGERPRINT
+
+    def test_trace_bytes(self):
+        store, _ = audited(scenario("soa"))
+        assert len(store.reports) == GOLDEN_REPORTS
+        assert trace_sha(store) == GOLDEN_SOA_TRACE_SHA
+
+    def test_replay_is_draw_identical(self):
+        outcomes = assert_identical_draws(scenario("soa"), runs=2)
+        (store_a, _), (store_b, _) = outcomes
+        assert trace_sha(store_a) == trace_sha(store_b)
+
+
+def test_unknown_engine_rejected():
+    config = SystemConfig(seed=1, base_concurrency=30.0, engine="vectorized")
+    with pytest.raises(ValueError, match="engine"):
+        UUSeeSystem(config, InMemoryTraceStore())
